@@ -1,0 +1,191 @@
+package latticesim
+
+// One benchmark per table and figure of the paper (see DESIGN.md §4 for
+// the experiment index). Each benchmark regenerates its artifact through
+// the same runner the CLI uses, at benchmark-friendly scale: the paper's
+// full settings are reproduced with
+//
+//	go run ./cmd/latticesim -shots 100000000 -maxd 15 all
+//
+// The microbenchmarks at the bottom measure the substrate primitives
+// (frame sampling, decoding, DEM extraction, planning).
+
+import (
+	"io"
+	"testing"
+
+	"latticesim/internal/core"
+	"latticesim/internal/decoder"
+	"latticesim/internal/dem"
+	"latticesim/internal/exp"
+	"latticesim/internal/frame"
+	"latticesim/internal/hardware"
+	"latticesim/internal/microarch"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+)
+
+// benchOpts keeps per-iteration cost low; benchmarks measure the cost of
+// regenerating each artifact at reduced scale.
+var benchOpts = exp.Options{Shots: 2000, MaxD: 3, Seed: 7}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1cRepetitionIdle(b *testing.B)     { runExperiment(b, "fig1c") }
+func BenchmarkFig1dNormalizedTCount(b *testing.B)   { runExperiment(b, "fig1d") }
+func BenchmarkFig3cSyncRate(b *testing.B)           { runExperiment(b, "fig3c") }
+func BenchmarkFig4aCultivationSlack(b *testing.B)   { runExperiment(b, "fig4a") }
+func BenchmarkFig4bQLDPCSlack(b *testing.B)         { runExperiment(b, "fig4b") }
+func BenchmarkFig6DDFidelity(b *testing.B)          { runExperiment(b, "fig6") }
+func BenchmarkFig7aWeightProfile(b *testing.B)      { runExperiment(b, "fig7a") }
+func BenchmarkFig7bHammingWeight(b *testing.B)      { runExperiment(b, "fig7b") }
+func BenchmarkFig10Diophantine(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkFig11HybridGrid(b *testing.B)         { runExperiment(b, "fig11") }
+func BenchmarkFig14ActiveVsPassive(b *testing.B)    { runExperiment(b, "fig14") }
+func BenchmarkFig15IdealActivePassive(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFig16WorkloadLER(b *testing.B)        { runExperiment(b, "fig16") }
+func BenchmarkFig17ActiveIntra(b *testing.B)        { runExperiment(b, "fig17") }
+func BenchmarkFig18aSpreadRounds(b *testing.B)      { runExperiment(b, "fig18a") }
+func BenchmarkFig18bExtraRounds(b *testing.B)       { runExperiment(b, "fig18b") }
+func BenchmarkFig19PolicyComparison(b *testing.B)   { runExperiment(b, "fig19") }
+func BenchmarkFig20SyncEngine(b *testing.B)         { runExperiment(b, "fig20") }
+func BenchmarkFig21NeutralAtom(b *testing.B)        { runExperiment(b, "fig21") }
+func BenchmarkFig22DecoderSpeedup(b *testing.B)     { runExperiment(b, "fig22") }
+func BenchmarkTable1ErrorCounts(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2PolicySummary(b *testing.B)     { runExperiment(b, "table2") }
+func BenchmarkTable4MeanReductions(b *testing.B)    { runExperiment(b, "table4") }
+func BenchmarkTable5NeutralAtomRounds(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkExtChain(b *testing.B)                { runExperiment(b, "ext-chain") }
+func BenchmarkExtDropout(b *testing.B)              { runExperiment(b, "ext-dropout") }
+func BenchmarkExtAblation(b *testing.B)             { runExperiment(b, "ext-ablation") }
+
+// --- substrate microbenchmarks ---
+
+func buildMerge(b *testing.B, d int) *surface.MergeResult {
+	b.Helper()
+	res, err := surface.MergeSpec{D: d, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFrameSampling measures raw detector-sampling throughput
+// (shots/op = 64).
+func BenchmarkFrameSampling(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		s := frame.NewSampler(res.Circuit)
+		rng := stats.NewRand(1)
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.SampleBatch(rng, 64)
+			}
+		})
+	}
+}
+
+// BenchmarkDEMExtraction measures reverse error-propagation time.
+func BenchmarkDEMExtraction(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dem.FromCircuit(res.Circuit)
+			}
+		})
+	}
+}
+
+// BenchmarkUnionFindDecode measures per-shot decode time on sampled
+// syndromes.
+func BenchmarkUnionFindDecode(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		m := dem.FromCircuit(res.Circuit)
+		g := decoder.BuildGraph(m)
+		uf := decoder.NewUnionFind(g)
+		s := frame.NewSampler(res.Circuit)
+		rng := stats.NewRand(1)
+		// Pre-sample a pool of defect sets.
+		var pool [][]int
+		batch := s.SampleBatch(rng, 64)
+		batch.ForEachShot(func(_ int, defects []int, _ uint64) {
+			pool = append(pool, append([]int(nil), defects...))
+		})
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				uf.Decode(pool[i%len(pool)])
+			}
+		})
+	}
+}
+
+// BenchmarkCircuitGeneration measures lattice-surgery circuit build time.
+func BenchmarkCircuitGeneration(b *testing.B) {
+	for _, d := range []int{3, 5, 7, 9} {
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buildMerge(b, d)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanSyncK measures k-patch synchronization planning on the
+// Fig. 12 engine (the Fig. 20 right panel at microbenchmark precision).
+func BenchmarkPlanSyncK(b *testing.B) {
+	cycles := []int64{1000, 1150, 1325, 1725}
+	for _, k := range []int{2, 10, 50} {
+		eng := microarch.NewEngine(k)
+		ids := make([]int, k)
+		for i := 0; i < k; i++ {
+			id, err := eng.Register(cycles[i%len(cycles)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+		}
+		eng.Tick(12345)
+		b.Run(sizeName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PlanSync(ids, core.Hybrid, 400, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHybridSolver measures the Eq. 2 iterative solve.
+func BenchmarkHybridSolver(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.SolveHybrid(1000, 1325, int64(i%1300)+100, 400, 5)
+	}
+}
+
+func sizeName(n int) string {
+	const digits = "0123456789"
+	if n < 10 {
+		return "d" + digits[n:n+1]
+	}
+	return "d" + digits[n/10:n/10+1] + digits[n%10:n%10+1]
+}

@@ -1,0 +1,63 @@
+// Command latticesim regenerates the tables and figures of
+// "Synchronization for Fault-Tolerant Quantum Computers" (ISCA 2025).
+//
+// Usage:
+//
+//	latticesim [-shots N] [-maxd D] [-seed S] <experiment>...
+//	latticesim -list
+//	latticesim all
+//
+// Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
+// code distance default to laptop-scale values; the paper's settings are
+// -shots 100000000 -maxd 15 (128 cores for days).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"latticesim/internal/exp"
+)
+
+func main() {
+	opts := exp.OptionsFromEnv()
+	shots := flag.Int("shots", opts.Shots, "shots per simulated configuration (0 = default)")
+	maxD := flag.Int("maxd", opts.MaxD, "largest code distance in sweeps (0 = default)")
+	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: latticesim [-flags] <experiment>...  (see -list)")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = args[:0]
+		for _, e := range exp.All() {
+			args = append(args, e.ID)
+		}
+	}
+	o := exp.Options{Shots: *shots, MaxD: *maxD, Seed: *seed}
+	for _, id := range args {
+		e, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := e.Run(os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,73 @@
+// Command syncplan computes synchronization schedules for ensembles of
+// logical patches: give it patch cycle times and phases, it prints the
+// per-patch plan (idle barriers and extra rounds) produced by the
+// synchronization engine and verifies alignment at the merge point.
+//
+// Usage:
+//
+//	syncplan -policy Hybrid -eps 400 1000:300 1325:900 1150:0
+//
+// Each positional argument is cycleNs:elapsedNs for one patch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"latticesim/internal/core"
+)
+
+func main() {
+	policyName := flag.String("policy", "Hybrid", "policy: Passive, Active, Active-intra, ExtraRounds, Hybrid")
+	eps := flag.Int64("eps", 400, "Hybrid slack tolerance (ns)")
+	maxZ := flag.Int("maxz", 5, "Hybrid extra-round bound (0 = unbounded)")
+	flag.Parse()
+
+	policy, ok := core.ParsePolicy(*policyName)
+	if !ok {
+		fatal("unknown policy %q", *policyName)
+	}
+	args := flag.Args()
+	if len(args) < 2 {
+		fatal("need at least two cycleNs:elapsedNs patch arguments")
+	}
+
+	states := make([]core.PatchState, len(args))
+	for i, a := range args {
+		parts := strings.SplitN(a, ":", 2)
+		if len(parts) != 2 {
+			fatal("bad patch %q (want cycleNs:elapsedNs)", a)
+		}
+		cyc, err1 := strconv.ParseInt(parts[0], 10, 64)
+		el, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil || cyc <= 0 || el < 0 || el >= cyc {
+			fatal("bad patch %q", a)
+		}
+		states[i] = core.PatchState{ID: i, CycleNs: cyc, ElapsedNs: el}
+	}
+
+	plans := core.SynchronizeK(states, policy, *eps, *maxZ)
+	if len(plans) == 0 {
+		fmt.Println("nothing to synchronize")
+		return
+	}
+	fmt.Printf("reference (slowest) patch: %d\n", plans[0].Late)
+	fmt.Printf("%-6s %-6s %-8s %-12s %-12s %-11s %-11s %-10s\n",
+		"early", "late", "tau(ns)", "policy", "earlyIdle", "earlyRounds", "lateRounds", "lateIdle")
+	for _, pp := range plans {
+		fmt.Printf("%-6d %-6d %-8d %-12s %-12.0f %-11d %-11d %-10.0f\n",
+			pp.Early, pp.Late, pp.TauNs, pp.Plan.Policy, pp.EarlyIdleNs,
+			pp.EarlyExtraRounds, pp.LateExtraRounds, pp.LateIdleNs)
+		if d := pp.AlignedNs(states[pp.Early].CycleNs, states[pp.Late].CycleNs); d != 0 {
+			fmt.Printf("  WARNING: misaligned by %dns\n", d)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "syncplan: "+format+"\n", args...)
+	os.Exit(1)
+}

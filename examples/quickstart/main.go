@@ -1,0 +1,44 @@
+// Quickstart: build a two-patch lattice-surgery experiment, synchronize
+// the patches with the Passive and Active policies, and compare logical
+// error rates — the paper's headline comparison in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latticesim"
+)
+
+func main() {
+	const (
+		d     = 5      // code distance
+		p     = 1e-3   // circuit-level noise
+		tauNs = 1000.0 // synchronization slack (worst case, §3.4)
+		shots = 40000
+	)
+	hw := latticesim.Google()
+	fmt.Printf("platform %s: cycle %.0fns, T1 %.0fus, T2 %.0fus\n",
+		hw.Name, hw.CycleNs(), hw.T1Ns/1000, hw.T2Ns/1000)
+
+	for _, policy := range []latticesim.Policy{latticesim.Ideal, latticesim.Passive, latticesim.Active} {
+		spec, plan, ok := latticesim.SpecForPolicy(
+			d, latticesim.BasisX, hw, p, policy, tauNs, 0, 0, 0)
+		if !ok {
+			log.Fatalf("%v: infeasible", policy)
+		}
+		res, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipeline, err := latticesim.NewPipeline(res.Circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := pipeline.Run(shots, 1)
+		fmt.Printf("%-12s idle=%6.0fns  LER(X_P X_P')=%.5f  LER(X_P)=%.5f\n",
+			policy, plan.TotalIdleNs(),
+			r.Rate(latticesim.ObsJoint), r.Rate(latticesim.ObsSingle))
+	}
+	fmt.Println("\nActive splits the same slack across rounds and lands closer to Ideal.")
+}

@@ -1,0 +1,244 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText encodes the circuit in Stim's text format. Absolute record
+// indices are converted to Stim's backward-relative rec[-k] form, so the
+// output loads directly into Stim.
+func (c *Circuit) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	measured := 0
+	for _, op := range c.Ops {
+		switch op.Type {
+		case OpTick:
+			fmt.Fprintln(bw, "TICK")
+		case OpQubitCoords:
+			fmt.Fprintf(bw, "QUBIT_COORDS(%s) %d\n", formatArgs(op.Args), op.Targets[0])
+		case OpDetector, OpObservable:
+			name := "DETECTOR"
+			if op.Type == OpObservable {
+				name = "OBSERVABLE_INCLUDE"
+			}
+			fmt.Fprintf(bw, "%s(%s)", name, formatArgs(op.Args))
+			for _, r := range op.Records {
+				fmt.Fprintf(bw, " rec[%d]", int(r)-measured)
+			}
+			fmt.Fprintln(bw)
+		default:
+			fmt.Fprint(bw, op.Type.String())
+			if len(op.Args) > 0 {
+				fmt.Fprintf(bw, "(%s)", formatArgs(op.Args))
+			}
+			for _, q := range op.Targets {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+			if op.Type == OpMeasure || op.Type == OpMeasureReset {
+				measured += len(op.Targets)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Text returns the Stim text encoding as a string.
+func (c *Circuit) Text() string {
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+func formatArgs(args []float64) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = strconv.FormatFloat(a, 'g', -1, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+var opByName = func() map[string]OpType {
+	m := make(map[string]OpType, len(opNames))
+	for t, n := range opNames {
+		m[n] = t
+	}
+	// Common Stim aliases.
+	m["CNOT"] = OpCNOT
+	m["ZCX"] = OpCNOT
+	m["RZ"] = OpReset
+	m["MZ"] = OpMeasure
+	return m
+}()
+
+// ParseText parses the Stim text subset produced by WriteText. It
+// supports comments (#), blank lines, and rec[-k] record targets.
+func ParseText(r io.Reader) (*Circuit, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := c.parseLine(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseTextString parses a circuit from a string.
+func ParseTextString(s string) (*Circuit, error) {
+	return ParseText(strings.NewReader(s))
+}
+
+func (c *Circuit) parseLine(line string) error {
+	name := line
+	var argStr, targetStr string
+	if i := strings.IndexByte(line, '('); i >= 0 {
+		j := strings.IndexByte(line, ')')
+		if j < i {
+			return fmt.Errorf("unbalanced parentheses in %q", line)
+		}
+		name = strings.TrimSpace(line[:i])
+		argStr = line[i+1 : j]
+		targetStr = strings.TrimSpace(line[j+1:])
+	} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+		name = line[:i]
+		targetStr = strings.TrimSpace(line[i+1:])
+	}
+	t, ok := opByName[strings.ToUpper(name)]
+	if !ok {
+		return fmt.Errorf("unknown instruction %q", name)
+	}
+	args, err := parseArgs(argStr)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(targetStr)
+
+	switch t {
+	case OpTick:
+		c.Tick()
+	case OpQubitCoords:
+		if len(fields) != 1 {
+			return fmt.Errorf("QUBIT_COORDS needs exactly one target")
+		}
+		q, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return err
+		}
+		c.QubitCoords(int32(q), args...)
+	case OpDetector, OpObservable:
+		recs := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			rel, err := parseRec(f)
+			if err != nil {
+				return err
+			}
+			abs := c.numMeasurements + rel
+			if abs < 0 {
+				return fmt.Errorf("record %s out of range", f)
+			}
+			recs = append(recs, int32(abs))
+		}
+		if t == OpDetector {
+			c.Detector(args, recs...)
+		} else {
+			if len(args) != 1 {
+				return fmt.Errorf("OBSERVABLE_INCLUDE needs one index argument")
+			}
+			c.Observable(int(args[0]), recs...)
+		}
+	default:
+		qs := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			q, err := strconv.Atoi(f)
+			if err != nil {
+				return fmt.Errorf("bad qubit target %q", f)
+			}
+			qs = append(qs, int32(q))
+		}
+		switch t {
+		case OpMeasure:
+			c.Measure(qs...)
+		case OpMeasureReset:
+			c.MeasureReset(qs...)
+		default:
+			if t.IsNoise() {
+				want := 1
+				if t == OpPauliChannel1 {
+					want = 3
+				}
+				if len(args) != want {
+					return fmt.Errorf("%v expects %d arguments, got %d", t, want, len(args))
+				}
+				total := 0.0
+				for _, a := range args {
+					if a < 0 || a > 1 {
+						return fmt.Errorf("%v probability %v out of range", t, a)
+					}
+					total += a
+				}
+				if total > 1 {
+					return fmt.Errorf("%v total probability %v exceeds 1", t, total)
+				}
+				c.noise(t, args, qs...)
+			} else {
+				c.appendGate(t, qs...)
+			}
+		}
+	}
+	return nil
+}
+
+func parseArgs(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	args := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q", p)
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+func parseRec(s string) (int, error) {
+	if !strings.HasPrefix(s, "rec[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("bad record target %q", s)
+	}
+	v, err := strconv.Atoi(s[4 : len(s)-1])
+	if err != nil {
+		return 0, err
+	}
+	if v >= 0 {
+		return 0, fmt.Errorf("record target %q must be negative", s)
+	}
+	return v, nil
+}

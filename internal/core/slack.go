@@ -1,0 +1,127 @@
+package core
+
+import "sort"
+
+// PatchState is the runtime phase information the synchronization engine
+// keeps per logical patch (§5): its cycle duration and how far it is into
+// the current syndrome-generation cycle.
+type PatchState struct {
+	ID        int
+	CycleNs   int64
+	ElapsedNs int64 // 0 ≤ ElapsedNs < CycleNs
+}
+
+// RemainingNs returns the time until the patch completes its current
+// syndrome cycle.
+func (p PatchState) RemainingNs() int64 {
+	r := p.CycleNs - p.ElapsedNs
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SlackBetween returns the synchronization slack between two patches and
+// their roles: early finishes its current cycle first, late finishes τ
+// later. τ is what the paper calls the synchronization slack.
+func SlackBetween(a, b PatchState) (tauNs int64, early, late PatchState) {
+	ra, rb := a.RemainingNs(), b.RemainingNs()
+	if ra <= rb {
+		return rb - ra, a, b
+	}
+	return ra - rb, b, a
+}
+
+// PairPlan is one pairwise synchronization, resolved into per-patch
+// directives. In the paper's equations, P is the patch that completes its
+// current cycle later (it runs the m/z extra rounds and absorbs the
+// Hybrid residual), and P′ the patch that completes first (it waits under
+// Passive/Active, or runs its own n extra rounds under Extra
+// Rounds/Hybrid); Early corresponds to P′ and Late to P.
+type PairPlan struct {
+	Early, Late int // patch IDs
+	TauNs       int64
+	Plan        Plan
+
+	// EarlyIdleNs is idle time the early patch absorbs (Passive: lumped,
+	// Active: spread, Active-intra: within the final round — see
+	// Plan.Policy).
+	EarlyIdleNs float64
+	// EarlyExtraRounds (n) and LateExtraRounds (m or z) are additional
+	// syndrome rounds per patch.
+	EarlyExtraRounds int
+	LateExtraRounds  int
+	// LateIdleNs is the Hybrid residual the late patch spreads across its
+	// extra rounds.
+	LateIdleNs float64
+}
+
+// AlignedNs returns the absolute misalignment between the two patches at
+// the end of the plan, measured from the early patch's cycle completion:
+// the early patch spends its idle plus n extra rounds, the late patch
+// starts τ later and spends z/m rounds plus its residual idle. Correct
+// plans return 0.
+func (pp PairPlan) AlignedNs(earlyCycleNs, lateCycleNs int64) int64 {
+	earlyT := pp.EarlyIdleNs + float64(pp.EarlyExtraRounds)*float64(earlyCycleNs)
+	lateT := float64(pp.TauNs) + float64(pp.LateExtraRounds)*float64(lateCycleNs) + pp.LateIdleNs
+	d := earlyT - lateT
+	if d < 0 {
+		d = -d
+	}
+	return int64(d + 0.5)
+}
+
+// PlanPair synchronizes one patch pair under the policy, resolving the
+// plan into per-patch directives. Infeasible Extra Rounds/Hybrid plans
+// fall back to Active (§5 runtime selection).
+func PlanPair(a, b PatchState, policy Policy, epsNs int64, maxZ int) PairPlan {
+	tau, early, late := SlackBetween(a, b)
+	prm := Params{
+		TPNs:      late.CycleNs,
+		TPPrimeNs: early.CycleNs,
+		TauNs:     tau,
+		EpsNs:     epsNs,
+		MaxZ:      maxZ,
+	}
+	plan := Compute(policy, prm)
+	if !plan.Feasible {
+		plan = Compute(Active, prm)
+	}
+	pp := PairPlan{Early: early.ID, Late: late.ID, TauNs: tau, Plan: plan}
+	switch plan.Policy {
+	case Passive, Active, ActiveIntra:
+		pp.EarlyIdleNs = plan.TotalIdleNs()
+	case ExtraRounds, Hybrid:
+		pp.LateExtraRounds = plan.ExtraRoundsP
+		pp.EarlyExtraRounds = plan.ExtraRoundsPPrime
+		pp.LateIdleNs = plan.SpreadIdleNs
+	}
+	return pp
+}
+
+// SynchronizeK synchronizes k patches (§4.3): the patch that completes
+// its current cycle last (ties broken by ID) is the common reference, and
+// every other patch synchronizes pairwise with it. All pairwise plans are
+// independent, which is what makes k-patch synchronization a
+// constant-depth operation in hardware.
+func SynchronizeK(patches []PatchState, policy Policy, epsNs int64, maxZ int) []PairPlan {
+	if len(patches) < 2 {
+		return nil
+	}
+	slowest := patches[0]
+	for _, p := range patches[1:] {
+		if p.RemainingNs() > slowest.RemainingNs() ||
+			(p.RemainingNs() == slowest.RemainingNs() && p.ID < slowest.ID) {
+			slowest = p
+		}
+	}
+	plans := make([]PairPlan, 0, len(patches)-1)
+	for _, p := range patches {
+		if p.ID == slowest.ID {
+			continue
+		}
+		plans = append(plans, PlanPair(p, slowest, policy, epsNs, maxZ))
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].Early < plans[j].Early })
+	return plans
+}

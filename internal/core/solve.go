@@ -1,0 +1,77 @@
+package core
+
+// SolveExtraRounds solves the paper's Eq. 1,
+//
+//	n·T_P′ = m·T_P + τ  (T_P ≠ T_P′),
+//
+// for the smallest non-negative integer m such that m·T_P + τ is an exact
+// multiple of T_P′. It returns (m, n, true) on success. The equation has
+// no solution when gcd(T_P, T_P′) does not divide τ, or when the patch
+// cycle times are equal (running extra rounds can never change the phase
+// relationship then, §4.1.4); in those cases ok is false.
+//
+// maxM bounds the search (<=0 selects the default of 100000); the bound
+// exists because some parameter combinations require impractically many
+// rounds (Fig. 10) and a runtime controller has to give up eventually.
+func SolveExtraRounds(tp, tpPrime, tau int64, maxM int) (m, n int, ok bool) {
+	if tp <= 0 || tpPrime <= 0 || tau < 0 || tp == tpPrime {
+		return 0, 0, false
+	}
+	if maxM <= 0 {
+		maxM = 100000
+	}
+	if tau%gcd(tp, tpPrime) != 0 {
+		return 0, 0, false
+	}
+	for m = 0; m <= maxM; m++ {
+		total := int64(m)*tp + tau
+		if total%tpPrime == 0 {
+			return m, int(total / tpPrime), true
+		}
+	}
+	return 0, 0, false
+}
+
+// SolveHybrid solves the paper's Eq. 2,
+//
+//	⌈(z·T_P + τ)/T_P′⌉·T_P′ − (z·T_P + τ) < ε  (T_P ≠ T_P′),
+//
+// for the smallest integer z ≥ 1. It returns the extra rounds z for P,
+// the extra rounds n = ⌈(z·T_P + τ)/T_P′⌉ for P′, and the residual slack
+// that remains to be idled away (distributed actively by the Hybrid
+// policy).
+//
+// z starts at 1 — the Hybrid policy by construction runs at least one
+// extra round (Fig. 9 and Table 2: for T_P=1000, T_P′=1325, τ=1000,
+// ε=400 the paper reports z=4 with a 300ns residual, which is the z≥1
+// solution; z=0 would degenerate into the Passive policy). maxZ bounds
+// the search; the paper uses 5 for superconducting systems (§4.2.1) and
+// effectively unbounded values for the neutral-atom study (Table 5).
+// maxZ <= 0 selects 100000.
+func SolveHybrid(tp, tpPrime, tau, eps int64, maxZ int) (z, n int, residualNs int64, ok bool) {
+	if tp <= 0 || tpPrime <= 0 || tau < 0 || eps <= 0 || tp == tpPrime {
+		return 0, 0, 0, false
+	}
+	if maxZ <= 0 {
+		maxZ = 100000
+	}
+	for z = 1; z <= maxZ; z++ {
+		total := int64(z)*tp + tau
+		k := (total + tpPrime - 1) / tpPrime
+		residual := k*tpPrime - total
+		if residual < eps {
+			return z, int(k), residual, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,78 @@
+package cultivation
+
+import (
+	"testing"
+
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+)
+
+func TestSlackBounded(t *testing.T) {
+	m := New(hardware.IBM(), 1e-3)
+	rng := stats.NewRand(1)
+	for i := 0; i < 10000; i++ {
+		s := m.SampleSlack(rng)
+		if s < 0 || s >= m.ConsumerCycleNs {
+			t.Fatalf("slack %v outside [0, %v)", s, m.ConsumerCycleNs)
+		}
+	}
+}
+
+func TestSlackNonDegenerate(t *testing.T) {
+	// The cultivation cycle differs from the consumer cycle, so slack
+	// must actually vary (a same-cycle model would always return 0).
+	m := New(hardware.Google(), 1e-3)
+	d := m.SampleDistribution(stats.NewRand(2), 5000)
+	if d.Median() == 0 && d.Mean() == 0 {
+		t.Fatal("degenerate slack distribution")
+	}
+	distinct := map[float64]bool{}
+	for _, s := range d.Samples {
+		distinct[s] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct slack values", len(distinct))
+	}
+}
+
+// TestLowerErrorRateFewerRetries: better physical error rates succeed
+// sooner, so the mean number of attempts (and hence mean completion time)
+// shrinks. The mod-cycle slack itself need not be monotone, but the
+// success probabilities must be.
+func TestSuccessProbMonotone(t *testing.T) {
+	if SuccessProbFor(0.0005) <= SuccessProbFor(0.001) {
+		t.Fatal("lower p must have higher acceptance")
+	}
+	if SuccessProbFor(0.001) <= SuccessProbFor(0.005) {
+		t.Fatal("acceptance must degrade at higher p")
+	}
+}
+
+func TestDistributionStats(t *testing.T) {
+	m := New(hardware.IBM(), 0.0005)
+	d := m.SampleDistribution(stats.NewRand(3), 20000)
+	if len(d.Samples) != 20000 {
+		t.Fatal("wrong sample count")
+	}
+	if d.Percentile(90) < d.Percentile(10) {
+		t.Fatal("percentiles out of order")
+	}
+	if d.Mean() < 0 || d.Mean() >= m.ConsumerCycleNs {
+		t.Fatalf("mean %v out of range", d.Mean())
+	}
+}
+
+func TestPaperSlackScale(t *testing.T) {
+	// §3.4.1: the paper adopts 500ns (average) / 1000ns (worst case) from
+	// this distribution on superconducting platforms. Check the median
+	// falls inside one cycle and the scale is hundreds of ns.
+	for _, hw := range []hardware.Config{hardware.IBM(), hardware.Google()} {
+		for _, p := range []float64{0.0005, 0.001} {
+			m := New(hw, p)
+			d := m.SampleDistribution(stats.NewRand(4), 20000)
+			if d.Median() < 50 || d.Median() > hw.CycleNs() {
+				t.Errorf("%s p=%g: median slack %.0fns implausible", hw.Name, p, d.Median())
+			}
+		}
+	}
+}

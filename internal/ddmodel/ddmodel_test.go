@@ -1,0 +1,96 @@
+package ddmodel
+
+import "testing"
+
+// TestActiveBeatsPassive is the core claim of Fig. 6(c): splitting the
+// idle budget across repetitions yields higher fidelity.
+func TestActiveBeatsPassive(t *testing.T) {
+	p := Brisbane()
+	for _, n := range []int{20, 200} {
+		for _, tp := range []float64{800, 1600, 3200, 5600} {
+			pa := Fidelity(p, Passive, n, tp)
+			ac := Fidelity(p, Active, n, tp)
+			if ac <= pa {
+				t.Errorf("N=%d tp=%.0fns: Active %.4f must beat Passive %.4f", n, tp, ac, pa)
+			}
+		}
+	}
+}
+
+// TestMoreSlicesHelpMore: the Active advantage grows with N (t_a
+// shrinks). The gate-sequence time is zeroed so the comparison isolates
+// the idle-splitting effect — at different N the full circuits also have
+// different total durations, which would otherwise mask it.
+func TestMoreSlicesHelpMore(t *testing.T) {
+	p := Brisbane()
+	p.SeqNs = 0
+	tp := 4000.0
+	gain20 := Fidelity(p, Active, 20, tp) - Fidelity(p, Passive, 20, tp)
+	gain200 := Fidelity(p, Active, 200, tp) - Fidelity(p, Passive, 200, tp)
+	if gain200 <= gain20 {
+		t.Fatalf("gain at N=200 (%v) must exceed N=20 (%v)", gain200, gain20)
+	}
+}
+
+// TestFidelityDecaysWithIdle: longer budgets always hurt.
+func TestFidelityDecaysWithIdle(t *testing.T) {
+	p := Brisbane()
+	prev := 1.0
+	for _, tp := range []float64{0, 800, 1600, 3200, 5600} {
+		f := Fidelity(p, Passive, 20, tp)
+		if f > prev {
+			t.Fatalf("fidelity increased with idle at tp=%v", tp)
+		}
+		prev = f
+	}
+}
+
+// TestFidelityRange: the Fig. 6(c) axes span ~0.4–0.9; the model must
+// stay in a physical range.
+func TestFidelityRange(t *testing.T) {
+	p := Brisbane()
+	for _, n := range []int{20, 200} {
+		for _, tp := range []float64{800, 5600} {
+			for _, pol := range []Policy{Passive, Active} {
+				f := Fidelity(p, pol, n, tp)
+				if f < 0.3 || f > 1 {
+					t.Errorf("N=%d tp=%v %v: fidelity %v out of range", n, tp, pol, f)
+				}
+			}
+		}
+	}
+}
+
+// TestPulseErrorBoundsActiveGain: with enormous pulse error, Active's
+// extra DD pairs must eventually hurt.
+func TestPulseErrorBoundsActiveGain(t *testing.T) {
+	p := Brisbane()
+	p.PulseErr = 0.02
+	if Fidelity(p, Active, 200, 800) >= Fidelity(p, Passive, 200, 800) {
+		t.Fatal("with terrible pulses, 200 DD pairs must cost more than they save")
+	}
+}
+
+func TestMeanFidelityAveraging(t *testing.T) {
+	p := Brisbane()
+	m := MeanFidelity(p, Active, 20, 1600, 20, 9)
+	if m < 0.3 || m > 1 {
+		t.Fatalf("mean fidelity %v out of range", m)
+	}
+	// Determinism for a fixed seed.
+	if m != MeanFidelity(p, Active, 20, 1600, 20, 9) {
+		t.Fatal("MeanFidelity not deterministic for fixed seed")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	pts := Sweep(Brisbane(), 20, []float64{0.8, 1.6}, 10, 3)
+	if len(pts) != 2 {
+		t.Fatal("sweep length")
+	}
+	for _, pt := range pts {
+		if pt.ActiveFidelity <= 0 || pt.PassiveFidelity <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package decoder
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Exact is a minimum-weight perfect-matching decoder that is exact for
+// defect sets up to MaxDefects: it computes all-pairs shortest paths
+// between defects (and each defect's cheapest path to a boundary node)
+// with Dijkstra, then solves the matching exactly by bitmask dynamic
+// programming. For larger defect sets it falls back to greedy matching.
+//
+// It is used as the trusted oracle for union-find validation and as the
+// "slow accurate decoder" stage of the hierarchical decoder (§7.5).
+type Exact struct {
+	g *Graph
+	// MaxDefects bounds the exact DP (2^n states); above it the decoder
+	// switches to greedy pairing.
+	MaxDefects int
+
+	dist    []float64
+	obsAcc  []uint64
+	visited []int32
+	gen     int32
+	seen    []int32
+}
+
+// NewExact prepares an exact matcher for the graph.
+func NewExact(g *Graph) *Exact {
+	return &Exact{
+		g:          g,
+		MaxDefects: 14,
+		dist:       make([]float64, g.NumNodes),
+		obsAcc:     make([]uint64, g.NumNodes),
+		visited:    make([]int32, g.NumNodes),
+		seen:       make([]int32, g.NumNodes),
+	}
+}
+
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra computes shortest paths from src to all targets (and the
+// cheapest boundary node). Returns per-target (distance, path obs mask)
+// plus boundary (distance, obs mask).
+func (e *Exact) dijkstra(src int32, targets map[int32]int, nTargets int) (dts []float64, obs []uint64, bDist float64, bObs uint64) {
+	e.gen++
+	dts = make([]float64, nTargets)
+	obs = make([]uint64, nTargets)
+	for i := range dts {
+		dts[i] = math.Inf(1)
+	}
+	bDist = math.Inf(1)
+	remaining := nTargets
+
+	var q pq
+	e.dist[src] = 0
+	e.obsAcc[src] = 0
+	e.seen[src] = e.gen
+	heap.Push(&q, pqItem{src, 0})
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		n := it.node
+		if e.visited[n] == e.gen {
+			continue
+		}
+		e.visited[n] = e.gen
+		dcur := e.dist[n]
+		ocur := e.obsAcc[n]
+		if e.g.IsBoundary(n) {
+			if dcur < bDist {
+				bDist = dcur
+				bObs = ocur
+			}
+			// Boundary nodes absorb; no need to expand through them.
+			continue
+		}
+		if ti, ok := targets[n]; ok && math.IsInf(dts[ti], 1) {
+			dts[ti] = dcur
+			obs[ti] = ocur
+			remaining--
+			if remaining == 0 && !math.IsInf(bDist, 1) {
+				return
+			}
+		}
+		for _, ei := range e.g.Adj[n] {
+			ed := e.g.Edges[ei]
+			next := ed.A
+			if next == n {
+				next = ed.B
+			}
+			nd := dcur + ed.Weight
+			if e.seen[next] != e.gen || nd < e.dist[next] {
+				e.seen[next] = e.gen
+				e.dist[next] = nd
+				e.obsAcc[next] = ocur ^ ed.Obs
+				heap.Push(&q, pqItem{next, nd})
+			}
+		}
+	}
+	return
+}
+
+// Decode predicts the observable flips for the fired detectors.
+func (e *Exact) Decode(defects []int) uint64 {
+	n := len(defects)
+	if n == 0 {
+		return 0
+	}
+	// Pairwise distances and boundary distances.
+	targets := make(map[int32]int, n)
+	for i, d := range defects {
+		targets[int32(d)] = i
+	}
+	distM := make([][]float64, n)
+	obsM := make([][]uint64, n)
+	bD := make([]float64, n)
+	bO := make([]uint64, n)
+	for i, d := range defects {
+		dts, obs, bd, bo := e.dijkstra(int32(d), targets, n)
+		distM[i] = dts
+		obsM[i] = obs
+		bD[i] = bd
+		bO[i] = bo
+	}
+	if n <= e.MaxDefects {
+		return e.exactDP(n, distM, obsM, bD, bO)
+	}
+	return e.greedy(n, distM, obsM, bD, bO)
+}
+
+// exactDP solves minimum-weight matching (with boundary matches allowed)
+// by DP over defect subsets.
+func (e *Exact) exactDP(n int, distM [][]float64, obsM [][]uint64, bD []float64, bO []uint64) uint64 {
+	size := 1 << uint(n)
+	cost := make([]float64, size)
+	choice := make([]int32, size) // encodes (i,j) pair or (i,boundary)
+	for s := 1; s < size; s++ {
+		cost[s] = math.Inf(1)
+		i := 0
+		for (s>>uint(i))&1 == 0 {
+			i++
+		}
+		rest := s &^ (1 << uint(i))
+		// Match i to the boundary.
+		if c := bD[i] + cost[rest]; c < cost[s] {
+			cost[s] = c
+			choice[s] = int32(i)<<8 | 0xff
+		}
+		// Match i to another defect j.
+		for j := i + 1; j < n; j++ {
+			if (s>>uint(j))&1 == 0 {
+				continue
+			}
+			c := distM[i][j] + cost[rest&^(1<<uint(j))]
+			if c < cost[s] {
+				cost[s] = c
+				choice[s] = int32(i)<<8 | int32(j)
+			}
+		}
+	}
+	var obs uint64
+	for s := size - 1; s > 0; {
+		ch := choice[s]
+		i := int(ch >> 8)
+		j := int(ch & 0xff)
+		if j == 0xff {
+			obs ^= bO[i]
+			s &^= 1 << uint(i)
+		} else {
+			obs ^= obsM[i][j]
+			s &^= (1 << uint(i)) | (1 << uint(j))
+		}
+	}
+	return obs
+}
+
+// greedy repeatedly matches the globally closest unmatched pair (or
+// defect-boundary) — a standard approximation when the DP is too large.
+func (e *Exact) greedy(n int, distM [][]float64, obsM [][]uint64, bD []float64, bO []uint64) uint64 {
+	matched := make([]bool, n)
+	var obs uint64
+	for remaining := n; remaining > 0; {
+		best := math.Inf(1)
+		bi, bj := -1, -1
+		for i := 0; i < n; i++ {
+			if matched[i] {
+				continue
+			}
+			if bD[i] < best {
+				best = bD[i]
+				bi, bj = i, -1
+			}
+			for j := i + 1; j < n; j++ {
+				if matched[j] {
+					continue
+				}
+				if distM[i][j] < best {
+					best = distM[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		matched[bi] = true
+		remaining--
+		if bj >= 0 {
+			matched[bj] = true
+			remaining--
+			obs ^= obsM[bi][bj]
+		} else {
+			obs ^= bO[bi]
+		}
+	}
+	return obs
+}

@@ -1,0 +1,151 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/dem"
+)
+
+func modelFromErrors(nDet, nObs int, xChecks map[int32]bool, errs []dem.Error) *dem.Model {
+	m := &dem.Model{NumDetectors: nDet, NumObservables: nObs, Errors: errs}
+	for d := int32(0); d < int32(nDet); d++ {
+		coords := []float64{0, 0, float64(d), circuit.CheckZ}
+		if xChecks[d] {
+			coords[3] = circuit.CheckX
+		}
+		m.DetectorInfo = append(m.DetectorInfo, circuit.DetectorInfo{Index: int(d), Coords: coords})
+	}
+	return m
+}
+
+func TestParallelEdgeMerging(t *testing.T) {
+	m := modelFromErrors(2, 1, nil, []dem.Error{
+		{P: 0.1, Detectors: []int32{0, 1}},
+		{P: 0.1, Detectors: []int32{0, 1}}, // identical symptoms appear pre-merged in real DEMs
+	})
+	g := BuildGraph(m)
+	// The DEM already XOR-combines identical symptoms, but BuildGraph
+	// must also merge parallel edges arriving from different errors.
+	count := 0
+	for _, e := range g.Edges {
+		if !g.IsBoundary(e.A) && !g.IsBoundary(e.B) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("expected 1 merged bulk edge, got %d", count)
+	}
+}
+
+func TestBoundaryEdgeCreation(t *testing.T) {
+	m := modelFromErrors(1, 1, nil, []dem.Error{
+		{P: 0.01, Detectors: []int32{0}, Obs: 1},
+	})
+	g := BuildGraph(m)
+	if len(g.Edges) != 1 {
+		t.Fatalf("edges: %d", len(g.Edges))
+	}
+	e := g.Edges[0]
+	if !g.IsBoundary(e.B) && !g.IsBoundary(e.A) {
+		t.Fatal("single-detector error must produce a boundary edge")
+	}
+	if e.Obs != 1 {
+		t.Fatal("observable mask lost")
+	}
+	uf := NewUnionFind(g)
+	if uf.Decode([]int{0}) != 1 {
+		t.Fatal("boundary match must predict the observable flip")
+	}
+}
+
+func TestMixedTypeDecomposition(t *testing.T) {
+	// A Y-like error flipping one X-check, one Z-check and the (X-type)
+	// observable must split into two edges with the observable on the
+	// X-check component.
+	xChecks := map[int32]bool{0: true}
+	m := modelFromErrors(2, 1, xChecks, []dem.Error{
+		{P: 0.01, Detectors: []int32{0}, Obs: 1},    // pure X-check error with obs → vote
+		{P: 0.01, Detectors: []int32{0, 1}, Obs: 1}, // mixed error
+		{P: 0.02, Detectors: []int32{1}},            // pure Z-check error
+	})
+	g := BuildGraph(m)
+	for _, e := range g.Edges {
+		endpointIsZCheck := (e.A == 1 && !g.IsBoundary(e.B)) || (e.B == 1 && !g.IsBoundary(e.A)) ||
+			(e.A == 1 && g.IsBoundary(e.B))
+		if endpointIsZCheck && e.Obs != 0 {
+			t.Fatalf("observable attached to Z-check edge (%d,%d)", e.A, e.B)
+		}
+	}
+}
+
+func TestUndetectableTracked(t *testing.T) {
+	m := modelFromErrors(1, 1, nil, []dem.Error{
+		{P: 0.001, Obs: 1}, // no detectors, flips the observable
+		{P: 0.01, Detectors: []int32{0}},
+	})
+	g := BuildGraph(m)
+	if len(g.Undetectable) != 1 || g.Undetectable[0].Obs != 1 {
+		t.Fatalf("undetectable error not tracked: %+v", g.Undetectable)
+	}
+}
+
+func TestEdgeWeightClamping(t *testing.T) {
+	if w := edgeWeight(0); !(w > 0) || math.IsInf(w, 1) {
+		t.Fatalf("p=0 weight %v must be finite positive", w)
+	}
+	if w := edgeWeight(0.9); w <= 0 {
+		t.Fatalf("p>0.5 weight %v must clamp positive", w)
+	}
+	if edgeWeight(1e-3) <= edgeWeight(1e-2) {
+		t.Fatal("rarer errors must weigh more")
+	}
+}
+
+func TestWindowLUTSizing(t *testing.T) {
+	// 20-detector window, 3KB/8B = 384 entries: 1 + 20 + 190 = 211 ≤ 384,
+	// adding C(20,3)=1140 would overflow → MaxDefects = 2.
+	l := NewWindowLUT(20, 3<<10, 8)
+	if l.MaxDefects != 2 {
+		t.Fatalf("MaxDefects = %d, want 2", l.MaxDefects)
+	}
+	if !l.Hit(2) || l.Hit(3) {
+		t.Fatal("hit predicate wrong")
+	}
+	// Huge budget covers everything.
+	big := NewWindowLUT(10, 1<<30, 8)
+	if big.MaxDefects != 10 {
+		t.Fatalf("big table MaxDefects = %d", big.MaxDefects)
+	}
+}
+
+func TestExactGreedyFallback(t *testing.T) {
+	// A long path graph: force more defects than the DP bound and check
+	// the greedy fallback still produces a sane answer.
+	n := 20
+	g := &Graph{NumDetectors: n, NumNodes: n + 2}
+	for i := 0; i < n-1; i++ {
+		g.Edges = append(g.Edges, Edge{A: int32(i), B: int32(i + 1), P: 0.01, Weight: 1})
+	}
+	// Boundary exits are expensive, so neighbour pairing is optimal.
+	g.Edges = append(g.Edges,
+		Edge{A: 0, B: int32(n), P: 0.01, Weight: 5},
+		Edge{A: int32(n - 1), B: int32(n + 1), P: 0.01, Weight: 5, Obs: 1})
+	g.Adj = make([][]int32, g.NumNodes)
+	for i, e := range g.Edges {
+		g.Adj[e.A] = append(g.Adj[e.A], int32(i))
+		g.Adj[e.B] = append(g.Adj[e.B], int32(i))
+	}
+	ex := NewExact(g)
+	ex.MaxDefects = 4
+	defects := make([]int, n)
+	for i := range defects {
+		defects[i] = i
+	}
+	// All nodes defective: pairing neighbours costs 1 per pair and flips
+	// nothing; the greedy matcher should find that.
+	if got := ex.Decode(defects); got != 0 {
+		t.Fatalf("greedy fallback predicted %x, want 0", got)
+	}
+}

@@ -1,0 +1,299 @@
+package decoder
+
+import (
+	"math"
+)
+
+// UnionFind is a weighted union-find (cluster-growth + peeling) decoder
+// in the style of Delfosse–Nickerson, operating on a decoder Graph.
+// It is the repository's primary decoder, standing in for MWPM.
+//
+// A UnionFind instance is reusable across shots but not safe for
+// concurrent use; create one per goroutine.
+type UnionFind struct {
+	g     *Graph
+	wInt  []int32 // scaled integer edge weights (>=1)
+	grown []int32 // growth units accumulated per edge
+	done  []bool  // edge fully grown (endpoints fused)
+
+	parent   []int32
+	size     []int32
+	parity   []uint8 // per root: defect parity
+	boundary []bool  // per root: cluster contains a virtual boundary node
+	frontier [][]int32
+
+	inited  []bool
+	defect  []bool
+	touched []int32 // nodes whose state must be reset
+	tEdges  []int32 // edges whose growth must be reset
+
+	stamp    []int32 // dedup stamps for active-root collection
+	stampGen int32
+}
+
+// weightScale converts float weights to growth units. Larger values give
+// finer weighted-growth resolution at more iterations.
+const weightScale = 4.0
+
+// NewUnionFind prepares a decoder for the graph.
+func NewUnionFind(g *Graph) *UnionFind {
+	d := &UnionFind{
+		g:        g,
+		wInt:     make([]int32, len(g.Edges)),
+		grown:    make([]int32, len(g.Edges)),
+		done:     make([]bool, len(g.Edges)),
+		parent:   make([]int32, g.NumNodes),
+		size:     make([]int32, g.NumNodes),
+		parity:   make([]uint8, g.NumNodes),
+		boundary: make([]bool, g.NumNodes),
+		frontier: make([][]int32, g.NumNodes),
+		inited:   make([]bool, g.NumNodes),
+		defect:   make([]bool, g.NumNodes),
+		stamp:    make([]int32, g.NumNodes),
+	}
+	for i, e := range g.Edges {
+		w := int32(math.Round(e.Weight * weightScale))
+		if w < 1 {
+			w = 1
+		}
+		d.wInt[i] = w
+	}
+	return d
+}
+
+func (d *UnionFind) find(n int32) int32 {
+	root := n
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[n] != root {
+		d.parent[n], n = root, d.parent[n]
+	}
+	return root
+}
+
+// initNode lazily brings a node into the decode working set.
+func (d *UnionFind) initNode(n int32) {
+	if d.inited[n] {
+		return
+	}
+	d.inited[n] = true
+	d.parent[n] = n
+	d.size[n] = 1
+	d.parity[n] = 0
+	d.boundary[n] = d.g.IsBoundary(n)
+	d.frontier[n] = append(d.frontier[n][:0], d.g.Adj[n]...)
+	d.touched = append(d.touched, n)
+}
+
+// fuse unions the clusters containing nodes a and b.
+func (d *UnionFind) fuse(a, b int32) {
+	d.initNode(a)
+	d.initNode(b)
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.parity[ra] ^= d.parity[rb]
+	d.boundary[ra] = d.boundary[ra] || d.boundary[rb]
+	d.frontier[ra] = append(d.frontier[ra], d.frontier[rb]...)
+	d.frontier[rb] = d.frontier[rb][:0]
+}
+
+// Decode returns the predicted observable-flip mask for the fired
+// detectors.
+func (d *UnionFind) Decode(defects []int) uint64 {
+	if len(defects) == 0 {
+		return 0
+	}
+	for _, n := range defects {
+		nn := int32(n)
+		d.initNode(nn)
+		d.defect[nn] = true
+		d.parity[d.find(nn)] ^= 1
+	}
+
+	d.grow(defects)
+	obs := d.peel(defects)
+	d.reset()
+	return obs
+}
+
+// grow runs weighted cluster growth until every cluster is neutral
+// (even parity or touching a boundary node).
+func (d *UnionFind) grow(defects []int) {
+	var active []int32
+	for iter := 0; ; iter++ {
+		active = active[:0]
+		d.stampGen++
+		for _, n := range defects {
+			r := d.find(int32(n))
+			if d.stamp[r] == d.stampGen {
+				continue
+			}
+			d.stamp[r] = d.stampGen
+			if d.parity[r] == 1 && !d.boundary[r] {
+				active = append(active, r)
+			}
+		}
+		if len(active) == 0 {
+			return
+		}
+		progress := false
+		for _, r := range active {
+			if d.find(r) != r {
+				continue // fused earlier this sweep
+			}
+			// Grow every frontier edge of this cluster by one unit. Stale
+			// entries (done, internal, or inherited from old fusions) are
+			// swap-removed. At most one fusion happens per cluster per
+			// sweep: the frontier list is written back first so the fuse
+			// can safely concatenate lists.
+			fr := d.frontier[r]
+			i := 0
+			fused := false
+			for i < len(fr) {
+				ei := fr[i]
+				incident := false
+				if !d.done[ei] {
+					e := d.g.Edges[ei]
+					ra, rb := int32(-1), int32(-1)
+					if d.inited[e.A] {
+						ra = d.find(e.A)
+					}
+					if d.inited[e.B] {
+						rb = d.find(e.B)
+					}
+					incident = (ra == r) != (rb == r)
+				}
+				if !incident {
+					fr[i] = fr[len(fr)-1]
+					fr = fr[:len(fr)-1]
+					continue
+				}
+				if d.grown[ei] == 0 {
+					d.tEdges = append(d.tEdges, ei)
+				}
+				d.grown[ei]++
+				progress = true
+				if d.grown[ei] >= d.wInt[ei] {
+					e := d.g.Edges[ei]
+					d.done[ei] = true
+					fr[i] = fr[len(fr)-1]
+					fr = fr[:len(fr)-1]
+					d.frontier[r] = fr
+					d.fuse(e.A, e.B)
+					fused = true
+					break
+				}
+				i++
+			}
+			if !fused {
+				d.frontier[r] = fr
+			}
+		}
+		if !progress {
+			// Disconnected odd cluster with an exhausted frontier; there
+			// is nothing more the decoder can do.
+			return
+		}
+	}
+}
+
+// peel extracts a correction from the grown clusters by leaf peeling on a
+// spanning forest of the fully-grown edges.
+func (d *UnionFind) peel(defects []int) uint64 {
+	// Group done edges by cluster root.
+	clusterEdges := make(map[int32][]int32)
+	for _, ei := range d.tEdges {
+		if !d.done[ei] {
+			continue
+		}
+		r := d.find(d.g.Edges[ei].A)
+		clusterEdges[r] = append(clusterEdges[r], ei)
+	}
+
+	var obs uint64
+	type treeNode struct {
+		node       int32
+		parentEdge int32
+		parentNode int32
+	}
+	for _, edges := range clusterEdges {
+		// Build local adjacency.
+		adj := make(map[int32][]int32)
+		for _, ei := range edges {
+			e := d.g.Edges[ei]
+			adj[e.A] = append(adj[e.A], ei)
+			adj[e.B] = append(adj[e.B], ei)
+		}
+		// Root preference: a boundary node, so leftover parity can leave
+		// through it.
+		var root int32 = -1
+		for n := range adj {
+			if d.g.IsBoundary(n) {
+				root = n
+				break
+			}
+		}
+		if root < 0 {
+			for n := range adj {
+				root = n
+				break
+			}
+		}
+		// BFS spanning tree.
+		order := []treeNode{{node: root, parentEdge: -1, parentNode: -1}}
+		seen := map[int32]bool{root: true}
+		for i := 0; i < len(order); i++ {
+			n := order[i].node
+			for _, ei := range adj[n] {
+				e := d.g.Edges[ei]
+				next := e.A
+				if next == n {
+					next = e.B
+				}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				order = append(order, treeNode{node: next, parentEdge: ei, parentNode: n})
+			}
+		}
+		// Peel leaves towards the root.
+		for i := len(order) - 1; i > 0; i-- {
+			tn := order[i]
+			if d.defect[tn.node] {
+				d.defect[tn.node] = false
+				d.defect[tn.parentNode] = !d.defect[tn.parentNode]
+				obs ^= d.g.Edges[tn.parentEdge].Obs
+			}
+		}
+		// A leftover defect at a boundary root exits through the
+		// boundary; at a real root it means an unmatched defect, which is
+		// simply left uncorrected.
+		d.defect[root] = false
+	}
+	_ = defects
+	return obs
+}
+
+// reset clears all per-shot state touched by the last Decode.
+func (d *UnionFind) reset() {
+	for _, n := range d.touched {
+		d.inited[n] = false
+		d.defect[n] = false
+		d.frontier[n] = d.frontier[n][:0]
+	}
+	d.touched = d.touched[:0]
+	for _, ei := range d.tEdges {
+		d.grown[ei] = 0
+		d.done[ei] = false
+	}
+	d.tEdges = d.tEdges[:0]
+}

@@ -1,0 +1,273 @@
+// Package dem extracts detector error models from noisy stabilizer
+// circuits.
+//
+// A detector error model (DEM) lists every elementary error mechanism in
+// the circuit together with the set of detectors it flips and the logical
+// observables it flips, exactly like Stim's detector_error_model. The
+// extraction walks the circuit backwards once, maintaining for every qubit
+// the set of detectors/observables sensitive to an X or Z inserted at the
+// current position, so the cost is linear in circuit size regardless of
+// the number of noise channels.
+package dem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"latticesim/internal/circuit"
+)
+
+// Error is one elementary error mechanism.
+type Error struct {
+	// P is the probability of the mechanism firing.
+	P float64
+	// Detectors are the flipped detector indices, sorted ascending.
+	Detectors []int32
+	// Obs is a bitmask of flipped logical observables (bit o = observable o).
+	Obs uint64
+}
+
+// Model is the extracted detector error model.
+type Model struct {
+	NumDetectors   int
+	NumObservables int
+	Errors         []Error
+	// DetectorInfo carries the circuit's detector annotations (coords,
+	// check type) for downstream graph construction.
+	DetectorInfo []circuit.DetectorInfo
+}
+
+// sensitivity is the set of detectors/observables flipped by a Pauli
+// inserted at the current backward-walk position.
+type sensitivity struct {
+	dets []int32 // sorted
+	obs  uint64
+}
+
+func (s sensitivity) empty() bool { return len(s.dets) == 0 && s.obs == 0 }
+
+// xorSens returns the symmetric difference of two sensitivities.
+func xorSens(a, b sensitivity) sensitivity {
+	if b.empty() {
+		return a
+	}
+	if a.empty() {
+		return sensitivity{dets: append([]int32(nil), b.dets...), obs: b.obs}
+	}
+	out := make([]int32, 0, len(a.dets)+len(b.dets))
+	i, j := 0, 0
+	for i < len(a.dets) && j < len(b.dets) {
+		switch {
+		case a.dets[i] < b.dets[j]:
+			out = append(out, a.dets[i])
+			i++
+		case a.dets[i] > b.dets[j]:
+			out = append(out, b.dets[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a.dets[i:]...)
+	out = append(out, b.dets[j:]...)
+	return sensitivity{dets: out, obs: a.obs ^ b.obs}
+}
+
+// FromCircuit extracts the detector error model of c.
+func FromCircuit(c *circuit.Circuit) *Model {
+	m := &Model{
+		NumDetectors:   c.NumDetectors(),
+		NumObservables: c.NumObservables(),
+		DetectorInfo:   c.Detectors(),
+	}
+
+	// recSens[r] = detectors/observables whose parity includes record r.
+	recSens := make([]sensitivity, c.NumMeasurements())
+	detIdx := 0
+	for _, op := range c.Ops {
+		switch op.Type {
+		case circuit.OpDetector:
+			for _, r := range op.Records {
+				recSens[r] = xorSens(recSens[r], sensitivity{dets: []int32{int32(detIdx)}})
+			}
+			detIdx++
+		case circuit.OpObservable:
+			bit := uint64(1) << uint(int(op.Args[0]))
+			for _, r := range op.Records {
+				recSens[r] = xorSens(recSens[r], sensitivity{obs: bit})
+			}
+		}
+	}
+
+	fx := make([]sensitivity, c.NumQubits())
+	fz := make([]sensitivity, c.NumQubits())
+
+	type key struct {
+		dets string
+		obs  uint64
+	}
+	acc := make(map[key]*Error)
+	record := func(p float64, s sensitivity) {
+		if p <= 0 || s.empty() {
+			return
+		}
+		var sb strings.Builder
+		for _, d := range s.dets {
+			fmt.Fprintf(&sb, "%d,", d)
+		}
+		k := key{dets: sb.String(), obs: s.obs}
+		if e, ok := acc[k]; ok {
+			// Two mechanisms with identical symptoms combine under XOR.
+			e.P = e.P*(1-p) + p*(1-e.P)
+			return
+		}
+		acc[k] = &Error{P: p, Detectors: append([]int32(nil), s.dets...), Obs: s.obs}
+	}
+
+	// The record counter runs backwards from the total.
+	nextRec := int32(c.NumMeasurements())
+	for oi := len(c.Ops) - 1; oi >= 0; oi-- {
+		op := c.Ops[oi]
+		switch op.Type {
+		case circuit.OpH:
+			for _, q := range op.Targets {
+				fx[q], fz[q] = fz[q], fx[q]
+			}
+		case circuit.OpS:
+			// Forward X → Y = X·Z, so an X inserted before S has the
+			// combined X-and-Z downstream effect.
+			for _, q := range op.Targets {
+				fx[q] = xorSens(fx[q], fz[q])
+			}
+		case circuit.OpX, circuit.OpZ:
+			// Pauli gates commute with Pauli errors (up to sign).
+		case circuit.OpCNOT:
+			for i := len(op.Targets) - 2; i >= 0; i -= 2 {
+				ctrl, tgt := op.Targets[i], op.Targets[i+1]
+				fx[ctrl] = xorSens(fx[ctrl], fx[tgt])
+				fz[tgt] = xorSens(fz[tgt], fz[ctrl])
+			}
+		case circuit.OpReset:
+			for _, q := range op.Targets {
+				fx[q] = sensitivity{}
+				fz[q] = sensitivity{}
+			}
+		case circuit.OpMeasure:
+			for i := len(op.Targets) - 1; i >= 0; i-- {
+				q := op.Targets[i]
+				nextRec--
+				// X before M flips the record and survives the collapse;
+				// Z before M has no downstream effect.
+				fx[q] = xorSens(fx[q], recSens[nextRec])
+				fz[q] = sensitivity{}
+			}
+		case circuit.OpMeasureReset:
+			for i := len(op.Targets) - 1; i >= 0; i-- {
+				q := op.Targets[i]
+				nextRec--
+				// X before MR flips the record and is then erased by the
+				// reset; Z is erased outright.
+				fx[q] = sensitivity{dets: append([]int32(nil), recSens[nextRec].dets...), obs: recSens[nextRec].obs}
+				fz[q] = sensitivity{}
+			}
+		case circuit.OpXError:
+			for _, q := range op.Targets {
+				record(op.Args[0], fx[q])
+			}
+		case circuit.OpZError:
+			for _, q := range op.Targets {
+				record(op.Args[0], fz[q])
+			}
+		case circuit.OpDepolarize1:
+			p := op.Args[0] / 3
+			for _, q := range op.Targets {
+				record(p, fx[q])
+				record(p, fz[q])
+				record(p, xorSens(fx[q], fz[q]))
+			}
+		case circuit.OpDepolarize2:
+			p := op.Args[0] / 15
+			for i := 0; i < len(op.Targets); i += 2 {
+				a, b := op.Targets[i], op.Targets[i+1]
+				pa := [4]sensitivity{{}, fx[a], xorSens(fx[a], fz[a]), fz[a]}
+				pb := [4]sensitivity{{}, fx[b], xorSens(fx[b], fz[b]), fz[b]}
+				for ka := 0; ka < 4; ka++ {
+					for kb := 0; kb < 4; kb++ {
+						if ka == 0 && kb == 0 {
+							continue
+						}
+						record(p, xorSens(pa[ka], pb[kb]))
+					}
+				}
+			}
+		case circuit.OpPauliChannel1:
+			for _, q := range op.Targets {
+				record(op.Args[0], fx[q])
+				record(op.Args[1], xorSens(fx[q], fz[q]))
+				record(op.Args[2], fz[q])
+			}
+		case circuit.OpDetector, circuit.OpObservable, circuit.OpQubitCoords, circuit.OpTick:
+		}
+	}
+
+	m.Errors = make([]Error, 0, len(acc))
+	for _, e := range acc {
+		m.Errors = append(m.Errors, *e)
+	}
+	sort.Slice(m.Errors, func(i, j int) bool {
+		a, b := m.Errors[i], m.Errors[j]
+		for k := 0; k < len(a.Detectors) && k < len(b.Detectors); k++ {
+			if a.Detectors[k] != b.Detectors[k] {
+				return a.Detectors[k] < b.Detectors[k]
+			}
+		}
+		if len(a.Detectors) != len(b.Detectors) {
+			return len(a.Detectors) < len(b.Detectors)
+		}
+		return a.Obs < b.Obs
+	})
+	return m
+}
+
+// WriteText emits the model in Stim's DEM text format.
+func (m *Model) WriteText(w io.Writer) error {
+	for _, e := range m.Errors {
+		parts := make([]string, 0, len(e.Detectors)+2)
+		for _, d := range e.Detectors {
+			parts = append(parts, fmt.Sprintf("D%d", d))
+		}
+		for o := 0; o < m.NumObservables; o++ {
+			if e.Obs&(1<<uint(o)) != 0 {
+				parts = append(parts, fmt.Sprintf("L%d", o))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "error(%g) %s\n", e.P, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text returns the Stim DEM text encoding.
+func (m *Model) Text() string {
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// MaxDetectorsPerError returns the largest symptom size, a sanity metric
+// for graph decomposition.
+func (m *Model) MaxDetectorsPerError() int {
+	max := 0
+	for _, e := range m.Errors {
+		if len(e.Detectors) > max {
+			max = len(e.Detectors)
+		}
+	}
+	return max
+}

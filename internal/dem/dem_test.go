@@ -1,0 +1,138 @@
+package dem
+
+import (
+	"strings"
+	"testing"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/frame"
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+)
+
+// TestSymptomsMatchFrameSampling builds circuits that each contain exactly
+// one deterministic error and checks that the sampled defect pattern
+// equals the DEM's predicted symptom set.
+func TestSymptomsMatchFrameSampling(t *testing.T) {
+	base, err := surface.MemorySpec{D: 3, Basis: surface.BasisZ, HW: hardware.Ideal(), P: 0, Rounds: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a deterministic X error on one data qubit between rounds by
+	// rebuilding the op list: find the first MeasureReset op and insert
+	// after it.
+	c := base.Circuit
+	nq := c.NumQubits()
+	for q := int32(0); q < int32(nq); q += 5 {
+		mod := circuit.New()
+		inserted := false
+		for _, op := range c.Ops {
+			mod.Ops = append(mod.Ops, op)
+			if !inserted && op.Type == circuit.OpMeasureReset {
+				mod.Ops = append(mod.Ops, circuit.Op{
+					Type:    circuit.OpXError,
+					Targets: []int32{q},
+					Args:    []float64{1.0},
+				})
+				inserted = true
+			}
+		}
+		rebuilt, err := circuit.ParseTextString(mod.Text())
+		if err != nil {
+			t.Fatalf("roundtrip: %v", err)
+		}
+		m := FromCircuit(rebuilt)
+		if len(m.Errors) != 1 {
+			// The X error may be symptomless on ancilla qubits that are
+			// reset right after; skip those.
+			if len(m.Errors) == 0 {
+				continue
+			}
+			t.Fatalf("qubit %d: got %d errors, want 1", q, len(m.Errors))
+		}
+		e := m.Errors[0]
+
+		s := frame.NewSampler(rebuilt)
+		b := s.SampleBatch(stats.NewRand(7), 64)
+		var fired []int32
+		for d, w := range b.Det {
+			switch w {
+			case 0:
+			case ^uint64(0):
+				fired = append(fired, int32(d))
+			default:
+				t.Fatalf("qubit %d: detector %d fired non-deterministically: %x", q, d, w)
+			}
+		}
+		if len(fired) != len(e.Detectors) {
+			t.Fatalf("qubit %d: fired %v, DEM predicts %v", q, fired, e.Detectors)
+		}
+		for i := range fired {
+			if fired[i] != e.Detectors[i] {
+				t.Fatalf("qubit %d: fired %v, DEM predicts %v", q, fired, e.Detectors)
+			}
+		}
+		var obsMask uint64
+		for o, w := range b.Obs {
+			if w == ^uint64(0) {
+				obsMask |= 1 << uint(o)
+			} else if w != 0 {
+				t.Fatalf("qubit %d: observable %d non-deterministic", q, o)
+			}
+		}
+		if obsMask != e.Obs {
+			t.Fatalf("qubit %d: obs mask %x, DEM predicts %x", q, obsMask, e.Obs)
+		}
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	res, err := surface.MemorySpec{D: 3, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromCircuit(res.Circuit)
+	if len(m.Errors) == 0 {
+		t.Fatal("no errors extracted")
+	}
+	if m.NumDetectors != res.Circuit.NumDetectors() {
+		t.Fatalf("detector count %d vs circuit %d", m.NumDetectors, res.Circuit.NumDetectors())
+	}
+	for _, e := range m.Errors {
+		if e.P <= 0 || e.P >= 1 {
+			t.Fatalf("error probability %v out of range", e.P)
+		}
+		for i := 1; i < len(e.Detectors); i++ {
+			if e.Detectors[i] <= e.Detectors[i-1] {
+				t.Fatalf("detectors not sorted: %v", e.Detectors)
+			}
+		}
+	}
+	// Standard surface-code circuits decompose into at most 2 detectors
+	// per check type; overall symptom sizes stay ≤ 4.
+	if max := m.MaxDetectorsPerError(); max > 4 {
+		t.Fatalf("max detectors per error = %d, want ≤ 4", max)
+	}
+	txt := m.Text()
+	if !strings.Contains(txt, "error(") {
+		t.Fatalf("DEM text missing error lines: %q", txt[:60])
+	}
+}
+
+// TestNoUndetectableLogicalErrors: no single elementary error may flip an
+// observable without leaving a syndrome.
+func TestNoUndetectableLogicalErrors(t *testing.T) {
+	for _, basis := range []surface.Basis{surface.BasisZ, surface.BasisX} {
+		res, err := surface.MergeSpec{D: 3, Basis: basis, HW: hardware.IBM(), P: 1e-3}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FromCircuit(res.Circuit)
+		for _, e := range m.Errors {
+			if len(e.Detectors) == 0 && e.Obs != 0 {
+				t.Fatalf("basis %v: undetectable logical error with p=%v obs=%x", basis, e.P, e.Obs)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package dropout models desynchronization caused by fabrication defects
+// (paper §3.2.2, Fig. 3(b)): failed qubits or couplers force a patch to
+// use time-multiplexed syndrome circuits (LUCI-style), lengthening its
+// syndrome cycle so it is no longer a multiple of the defect-free cycle.
+// A system of many patches with independent defects therefore develops a
+// spread of logical clock frequencies — exactly the input the k-patch
+// synchronization engine has to handle.
+package dropout
+
+import (
+	"math/rand/v2"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+)
+
+// PatchSite describes one patch's fabrication outcome.
+type PatchSite struct {
+	ID int
+	// DefectiveQubits and DefectiveCouplers count dropouts inside the
+	// patch's footprint.
+	DefectiveQubits   int
+	DefectiveCouplers int
+	// CycleNs is the resulting syndrome cycle duration.
+	CycleNs int64
+}
+
+// Defects returns the total dropout count.
+func (p PatchSite) Defects() int { return p.DefectiveQubits + p.DefectiveCouplers }
+
+// Model parameterizes the defect process and its timing cost.
+type Model struct {
+	HW hardware.Config
+	// D is the patch code distance (sets the footprint: 2d²−1 qubits,
+	// ~4d² couplers).
+	D int
+	// QubitDropRate and CouplerDropRate are independent per-component
+	// failure probabilities (industry-reported rates are 1e-4 – 1e-2).
+	QubitDropRate   float64
+	CouplerDropRate float64
+	// LayersPerDefect is the number of extra CNOT layers the adapted
+	// syndrome circuit needs per dropout (time-multiplexing a neighbour
+	// qubit takes two extra layers in LUCI-style constructions).
+	LayersPerDefect int
+}
+
+// NewModel returns a model with LUCI-style defaults.
+func NewModel(hw hardware.Config, d int, qubitRate, couplerRate float64) Model {
+	return Model{
+		HW: hw, D: d,
+		QubitDropRate:   qubitRate,
+		CouplerDropRate: couplerRate,
+		LayersPerDefect: 2,
+	}
+}
+
+// qubits and couplers in a distance-d rotated patch footprint.
+func (m Model) footprint() (qubits, couplers int) {
+	qubits = 2*m.D*m.D - 1
+	couplers = 4 * m.D * m.D // each ancilla touches up to 4 data qubits
+	return
+}
+
+// CycleFor returns the adapted syndrome cycle for a patch with the given
+// dropout count: each defect adds LayersPerDefect two-qubit layers.
+func (m Model) CycleFor(defects int) int64 {
+	extra := float64(defects*m.LayersPerDefect) * m.HW.Gate2Ns
+	return int64(m.HW.CycleNs() + extra)
+}
+
+// Sample draws the fabrication outcome for n patches.
+func (m Model) Sample(rng *rand.Rand, n int) []PatchSite {
+	qubits, couplers := m.footprint()
+	out := make([]PatchSite, n)
+	for i := range out {
+		dq := binomial(rng, qubits, m.QubitDropRate)
+		dc := binomial(rng, couplers, m.CouplerDropRate)
+		out[i] = PatchSite{
+			ID:                i,
+			DefectiveQubits:   dq,
+			DefectiveCouplers: dc,
+			CycleNs:           m.CycleFor(dq + dc),
+		}
+	}
+	return out
+}
+
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// States converts patch sites to runtime phase states after the system
+// free-ran for elapsedNs (all patches started aligned at t=0).
+func States(sites []PatchSite, elapsedNs int64) []core.PatchState {
+	out := make([]core.PatchState, len(sites))
+	for i, s := range sites {
+		out[i] = core.PatchState{
+			ID:        s.ID,
+			CycleNs:   s.CycleNs,
+			ElapsedNs: elapsedNs % s.CycleNs,
+		}
+	}
+	return out
+}
+
+// Stats summarizes the desynchronization a defect ensemble causes.
+type Stats struct {
+	Patches         int
+	DefectivePatch  int // patches with ≥1 dropout
+	MeanCycleNs     float64
+	MaxCycleNs      int64
+	MeanSlackNs     float64 // mean pairwise slack vs the slowest patch
+	MaxSlackNs      int64
+	FeasibleHybrid  int // pairs with a Hybrid solution (ε=400ns, z≤5)
+	PairsNeedingSyn int // pairs with nonzero slack
+}
+
+// Analyze free-runs the ensemble for elapsedNs and reports the resulting
+// slack structure and Hybrid feasibility against the slowest patch.
+func Analyze(sites []PatchSite, elapsedNs int64) Stats {
+	st := Stats{Patches: len(sites)}
+	var cycleSum float64
+	for _, s := range sites {
+		if s.Defects() > 0 {
+			st.DefectivePatch++
+		}
+		cycleSum += float64(s.CycleNs)
+		if s.CycleNs > st.MaxCycleNs {
+			st.MaxCycleNs = s.CycleNs
+		}
+	}
+	if len(sites) > 0 {
+		st.MeanCycleNs = cycleSum / float64(len(sites))
+	}
+	states := States(sites, elapsedNs)
+	plans := core.SynchronizeK(states, core.Hybrid, 400, 5)
+	var slackSum float64
+	for _, pp := range plans {
+		slackSum += float64(pp.TauNs)
+		if pp.TauNs > st.MaxSlackNs {
+			st.MaxSlackNs = pp.TauNs
+		}
+		if pp.TauNs > 0 {
+			st.PairsNeedingSyn++
+		}
+		if pp.Plan.Policy == core.Hybrid && pp.Plan.Feasible {
+			st.FeasibleHybrid++
+		}
+	}
+	if len(plans) > 0 {
+		st.MeanSlackNs = slackSum / float64(len(plans))
+	}
+	return st
+}

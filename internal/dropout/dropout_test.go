@@ -1,0 +1,98 @@
+package dropout
+
+import (
+	"testing"
+
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+)
+
+func TestCycleExtension(t *testing.T) {
+	m := NewModel(hardware.IBM(), 11, 1e-3, 1e-3)
+	base := m.CycleFor(0)
+	if float64(base) != float64(int64(hardware.IBM().CycleNs())) {
+		t.Fatalf("defect-free cycle %d must equal the base cycle", base)
+	}
+	one := m.CycleFor(1)
+	want := base + int64(2*hardware.IBM().Gate2Ns)
+	if one != want {
+		t.Fatalf("one defect: cycle %d, want %d", one, want)
+	}
+	if m.CycleFor(3) <= m.CycleFor(1) {
+		t.Fatal("more defects must cost more time")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	m := NewModel(hardware.IBM(), 11, 2e-3, 1e-3)
+	sites := m.Sample(stats.NewRand(1), 500)
+	if len(sites) != 500 {
+		t.Fatal("wrong count")
+	}
+	defective := 0
+	for _, s := range sites {
+		if s.CycleNs < int64(hardware.IBM().CycleNs()) {
+			t.Fatal("cycle below base")
+		}
+		if s.Defects() > 0 {
+			defective++
+		}
+	}
+	// d=11 footprint: 241 qubits @2e-3 + 484 couplers @1e-3 → ~62% of
+	// patches carry at least one defect. Requiring a broad band keeps the
+	// test robust.
+	if defective < 200 || defective > 450 {
+		t.Fatalf("defective patches: %d of 500, expected a majority band", defective)
+	}
+}
+
+func TestZeroRates(t *testing.T) {
+	m := NewModel(hardware.IBM(), 7, 0, 0)
+	sites := m.Sample(stats.NewRand(2), 50)
+	for _, s := range sites {
+		if s.Defects() != 0 {
+			t.Fatal("zero rates must produce no defects")
+		}
+	}
+	st := Analyze(sites, 123456)
+	if st.PairsNeedingSyn != 0 {
+		t.Fatalf("defect-free homogeneous system needs no synchronization, got %d pairs", st.PairsNeedingSyn)
+	}
+}
+
+func TestAnalyzeDesync(t *testing.T) {
+	m := NewModel(hardware.IBM(), 11, 5e-3, 2e-3)
+	sites := m.Sample(stats.NewRand(3), 40)
+	st := Analyze(sites, 50*int64(hardware.IBM().CycleNs()))
+	if st.Patches != 40 {
+		t.Fatal("patch count")
+	}
+	if st.DefectivePatch == 0 {
+		t.Fatal("expected defects at these rates")
+	}
+	if st.PairsNeedingSyn == 0 {
+		t.Fatal("heterogeneous clocks must desynchronize after free-running")
+	}
+	if st.MeanSlackNs <= 0 || st.MaxSlackNs <= 0 {
+		t.Fatal("slack statistics missing")
+	}
+	if st.MaxCycleNs <= int64(hardware.IBM().CycleNs()) {
+		t.Fatal("max cycle should exceed the base with defects present")
+	}
+}
+
+func TestStatesPhases(t *testing.T) {
+	sites := []PatchSite{
+		{ID: 0, CycleNs: 1000},
+		{ID: 1, CycleNs: 1300},
+	}
+	states := States(sites, 2500)
+	if states[0].ElapsedNs != 500 || states[1].ElapsedNs != 1200 {
+		t.Fatalf("phases: %+v", states)
+	}
+	for _, s := range states {
+		if s.ElapsedNs >= s.CycleNs {
+			t.Fatal("phase out of range")
+		}
+	}
+}

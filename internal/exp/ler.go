@@ -1,0 +1,179 @@
+// Package exp contains the experiment harness: the logical-error-rate
+// estimation pipeline (sample → detector error model → union-find decode)
+// and one runner per table and figure of the paper's evaluation (§7).
+package exp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/decoder"
+	"latticesim/internal/dem"
+	"latticesim/internal/frame"
+	"latticesim/internal/stats"
+)
+
+// LERResult reports per-observable logical error statistics.
+type LERResult struct {
+	Shots int
+	// Errors[o] counts shots where the decoder's prediction for
+	// observable o disagreed with the sampled flip.
+	Errors []int
+	// DetectorFires counts total detector fires (syndrome Hamming weight
+	// accumulated over all shots), for Fig. 7-style statistics.
+	DetectorFires int
+}
+
+// Rate returns the logical error rate of observable o.
+func (r LERResult) Rate(o int) float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Errors[o]) / float64(r.Shots)
+}
+
+// Binomial returns the error count of observable o as a Binomial for
+// confidence intervals.
+func (r LERResult) Binomial(o int) stats.Binomial {
+	return stats.Binomial{Successes: r.Errors[o], Trials: r.Shots}
+}
+
+// MeanHammingWeight returns the average syndrome weight per shot.
+func (r LERResult) MeanHammingWeight() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.DetectorFires) / float64(r.Shots)
+}
+
+// Pipeline bundles the sampler, error model and decoder for one circuit.
+type Pipeline struct {
+	Circuit *circuit.Circuit
+	Model   *dem.Model
+	Graph   *decoder.Graph
+	sampler *frame.Sampler
+	dec     *decoder.UnionFind
+}
+
+// NewPipeline builds the full decode pipeline for a circuit.
+func NewPipeline(c *circuit.Circuit) (*Pipeline, error) {
+	m := dem.FromCircuit(c)
+	g := decoder.BuildGraph(m)
+	if err := g.CheckMatchable(); err != nil {
+		return nil, fmt.Errorf("exp: decoder graph: %w", err)
+	}
+	return &Pipeline{
+		Circuit: c,
+		Model:   m,
+		Graph:   g,
+		sampler: frame.NewSampler(c),
+		dec:     decoder.NewUnionFind(g),
+	}, nil
+}
+
+// Run samples and decodes the requested number of shots.
+func (p *Pipeline) Run(shots int, seed uint64) LERResult {
+	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	rng := stats.NewRand(seed)
+	for done := 0; done < shots; {
+		n := shots - done
+		if n > 64 {
+			n = 64
+		}
+		b := p.sampler.SampleBatch(rng, n)
+		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+			res.DetectorFires += len(defects)
+			pred := p.dec.Decode(defects)
+			miss := pred ^ obsMask
+			for miss != 0 {
+				o := bits.TrailingZeros64(miss)
+				res.Errors[o]++
+				miss &^= 1 << uint(o)
+			}
+		})
+		done += n
+		res.Shots += n
+	}
+	return res
+}
+
+// RunWithDecoder samples shots and decodes them with the supplied decoder
+// (used for LUT / hierarchical decoder studies).
+func (p *Pipeline) RunWithDecoder(dec decoder.Decoder, shots int, seed uint64) LERResult {
+	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	rng := stats.NewRand(seed)
+	for done := 0; done < shots; {
+		n := shots - done
+		if n > 64 {
+			n = 64
+		}
+		b := p.sampler.SampleBatch(rng, n)
+		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+			res.DetectorFires += len(defects)
+			pred := dec.Decode(defects)
+			miss := pred ^ obsMask
+			for miss != 0 {
+				o := bits.TrailingZeros64(miss)
+				res.Errors[o]++
+				miss &^= 1 << uint(o)
+			}
+		})
+		done += n
+		res.Shots += n
+	}
+	return res
+}
+
+// RoundWeights samples shots and returns the mean syndrome Hamming weight
+// per detector round coordinate (Fig. 7(b)).
+func (p *Pipeline) RoundWeights(shots int, seed uint64) map[int]float64 {
+	dets := p.Circuit.Detectors()
+	roundOf := make([]int, len(dets))
+	for i, d := range dets {
+		roundOf[i] = d.Round()
+	}
+	counts := make(map[int]int)
+	detCounts, _ := p.sampler.CountDetectorFires(stats.NewRand(seed), shots)
+	for i, c := range detCounts {
+		counts[roundOf[i]] += c
+	}
+	out := make(map[int]float64, len(counts))
+	for r, c := range counts {
+		out[r] = float64(c) / float64(shots)
+	}
+	return out
+}
+
+// WeightBin aggregates shots by syndrome Hamming weight.
+type WeightBin struct {
+	Shots  int
+	Errors int // decode failures on the selected observable
+}
+
+// RunProfile samples and decodes shots, binning logical failures of
+// observable obs by total syndrome Hamming weight (Fig. 7(a)).
+func (p *Pipeline) RunProfile(shots int, seed uint64, obs int) map[int]*WeightBin {
+	out := make(map[int]*WeightBin)
+	rng := stats.NewRand(seed)
+	obsBit := uint64(1) << uint(obs)
+	for done := 0; done < shots; done += 64 {
+		n := shots - done
+		if n > 64 {
+			n = 64
+		}
+		b := p.sampler.SampleBatch(rng, n)
+		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+			bin := out[len(defects)]
+			if bin == nil {
+				bin = &WeightBin{}
+				out[len(defects)] = bin
+			}
+			bin.Shots++
+			if (p.dec.Decode(defects)^obsMask)&obsBit != 0 {
+				bin.Errors++
+			}
+		})
+	}
+	return out
+}

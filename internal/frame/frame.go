@@ -1,0 +1,337 @@
+// Package frame implements a bit-packed Pauli-frame sampler for
+// stabilizer circuits, following the design of Stim's frame simulator.
+//
+// A Pauli frame tracks, for a batch of 64 shots at once, the Pauli error
+// separating each noisy shot from a noiseless reference execution. A
+// measurement record is flipped in a shot exactly when the frame
+// anticommutes with the measured operator. Because detectors and logical
+// observables are parities of measurement sets that are deterministic in
+// the noiseless circuit, the sampled "flip" parities are exactly the
+// detector and observable values used for decoding.
+//
+// Z components of the frame are randomized at resets and after
+// measurements; this inserts elements of the instantaneous stabilizer
+// group, which cannot flip any deterministic parity but correctly
+// randomizes non-deterministic records.
+package frame
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"latticesim/internal/circuit"
+)
+
+// Sampler samples detector and observable flips for a fixed circuit.
+type Sampler struct {
+	c *circuit.Circuit
+
+	numQubits    int
+	numMeas      int
+	numDetectors int
+	numObs       int
+
+	// Scratch reused across batches (one word of 64 shots per entry).
+	x, z      []uint64 // frame components per qubit
+	rec       []uint64 // measurement-flip word per record
+	det       []uint64 // detector parity word per detector
+	obs       []uint64 // observable parity word per observable
+	detCursor int      // next detector slot while executing a batch
+}
+
+// NewSampler prepares a sampler for the circuit. The circuit must be
+// valid (see circuit.Validate).
+func NewSampler(c *circuit.Circuit) *Sampler {
+	return &Sampler{
+		c:            c,
+		numQubits:    c.NumQubits(),
+		numMeas:      c.NumMeasurements(),
+		numDetectors: c.NumDetectors(),
+		numObs:       c.NumObservables(),
+		x:            make([]uint64, c.NumQubits()),
+		z:            make([]uint64, c.NumQubits()),
+		rec:          make([]uint64, c.NumMeasurements()),
+		det:          make([]uint64, c.NumDetectors()),
+		obs:          make([]uint64, c.NumObservables()),
+	}
+}
+
+// NumDetectors returns the circuit's detector count.
+func (s *Sampler) NumDetectors() int { return s.numDetectors }
+
+// NumObservables returns the circuit's observable count.
+func (s *Sampler) NumObservables() int { return s.numObs }
+
+// Batch holds the detector/observable flip words for up to 64 shots.
+type Batch struct {
+	Shots int // number of valid shots (bits 0..Shots-1)
+	// Det[d] has bit i set iff detector d fired in shot i.
+	Det []uint64
+	// Obs[o] has bit i set iff observable o flipped in shot i.
+	Obs []uint64
+}
+
+// ForEachShot invokes fn once per shot with the sparse list of fired
+// detectors and a bitmask of flipped observables (observable o → bit o).
+// The defects slice is reused between invocations; copy it to retain.
+func (b *Batch) ForEachShot(fn func(shot int, defects []int, obsMask uint64)) {
+	defects := make([]int, 0, 64)
+	for i := 0; i < b.Shots; i++ {
+		defects = defects[:0]
+		bit := uint64(1) << uint(i)
+		for d, w := range b.Det {
+			if w&bit != 0 {
+				defects = append(defects, d)
+			}
+		}
+		var mask uint64
+		for o, w := range b.Obs {
+			if w&bit != 0 {
+				mask |= 1 << uint(o)
+			}
+		}
+		fn(i, defects, mask)
+	}
+}
+
+// SampleBatch runs one batch of up to 64 shots (shots in [1,64]) and
+// returns the detector/observable flip words. The returned slices alias
+// sampler scratch and are invalidated by the next SampleBatch call.
+func (s *Sampler) SampleBatch(rng *rand.Rand, shots int) Batch {
+	if shots <= 0 || shots > 64 {
+		panic("frame: batch shots must be in [1,64]")
+	}
+	for i := range s.x {
+		s.x[i] = 0
+		s.z[i] = rng.Uint64() // |0⟩ init: random stabilizer Z frame
+	}
+	for i := range s.det {
+		s.det[i] = 0
+	}
+	for i := range s.obs {
+		s.obs[i] = 0
+	}
+	measured := 0
+	for _, op := range s.c.Ops {
+		switch op.Type {
+		case circuit.OpH:
+			for _, q := range op.Targets {
+				s.x[q], s.z[q] = s.z[q], s.x[q]
+			}
+		case circuit.OpS:
+			for _, q := range op.Targets {
+				s.z[q] ^= s.x[q]
+			}
+		case circuit.OpX, circuit.OpZ:
+			// Deterministic gates are part of the reference run; the
+			// frame is unchanged.
+		case circuit.OpCNOT:
+			for i := 0; i < len(op.Targets); i += 2 {
+				c, t := op.Targets[i], op.Targets[i+1]
+				s.x[t] ^= s.x[c]
+				s.z[c] ^= s.z[t]
+			}
+		case circuit.OpReset:
+			for _, q := range op.Targets {
+				s.x[q] = 0
+				s.z[q] = rng.Uint64()
+			}
+		case circuit.OpMeasure:
+			for _, q := range op.Targets {
+				s.rec[measured] = s.x[q]
+				measured++
+				s.z[q] = rng.Uint64()
+			}
+		case circuit.OpMeasureReset:
+			for _, q := range op.Targets {
+				s.rec[measured] = s.x[q]
+				measured++
+				s.x[q] = 0
+				s.z[q] = rng.Uint64()
+			}
+		case circuit.OpXError:
+			s.sampleSingles(rng, op, shots, pauliX)
+		case circuit.OpZError:
+			s.sampleSingles(rng, op, shots, pauliZ)
+		case circuit.OpDepolarize1:
+			s.sampleDepolarize1(rng, op, shots)
+		case circuit.OpDepolarize2:
+			s.sampleDepolarize2(rng, op, shots)
+		case circuit.OpPauliChannel1:
+			s.samplePauliChannel1(rng, op, shots)
+		case circuit.OpDetector:
+			var w uint64
+			for _, r := range op.Records {
+				w ^= s.rec[r]
+			}
+			s.det[s.detCursor] = w
+			s.detCursor++
+		case circuit.OpObservable:
+			o := int(op.Args[0])
+			var w uint64
+			for _, r := range op.Records {
+				w ^= s.rec[r]
+			}
+			s.obs[o] ^= w
+		case circuit.OpQubitCoords, circuit.OpTick:
+		}
+	}
+	s.detCursor = 0
+	return Batch{Shots: shots, Det: s.det, Obs: s.obs}
+}
+
+type pauliKind uint8
+
+const (
+	pauliX pauliKind = iota
+	pauliZ
+)
+
+// sampleSingles applies independent single-Pauli errors of the given kind
+// with probability op.Args[0] across targets × shots.
+func (s *Sampler) sampleSingles(rng *rand.Rand, op circuit.Op, shots int, kind pauliKind) {
+	p := op.Args[0]
+	total := len(op.Targets) * shots
+	forEachFlip(rng, p, total, func(bit int) {
+		q := op.Targets[bit/shots]
+		shot := uint(bit % shots)
+		if kind == pauliX {
+			s.x[q] ^= 1 << shot
+		} else {
+			s.z[q] ^= 1 << shot
+		}
+	})
+}
+
+func (s *Sampler) sampleDepolarize1(rng *rand.Rand, op circuit.Op, shots int) {
+	p := op.Args[0]
+	total := len(op.Targets) * shots
+	forEachFlip(rng, p, total, func(bit int) {
+		q := op.Targets[bit/shots]
+		shot := uint(bit % shots)
+		switch rng.IntN(3) {
+		case 0:
+			s.x[q] ^= 1 << shot
+		case 1:
+			s.x[q] ^= 1 << shot
+			s.z[q] ^= 1 << shot
+		case 2:
+			s.z[q] ^= 1 << shot
+		}
+	})
+}
+
+func (s *Sampler) sampleDepolarize2(rng *rand.Rand, op circuit.Op, shots int) {
+	p := op.Args[0]
+	pairs := len(op.Targets) / 2
+	total := pairs * shots
+	forEachFlip(rng, p, total, func(bit int) {
+		pair := bit / shots
+		shot := uint(bit % shots)
+		a := op.Targets[2*pair]
+		b := op.Targets[2*pair+1]
+		k := 1 + rng.IntN(15)
+		applyPacked(s, a, k%4, shot)
+		applyPacked(s, b, k/4, shot)
+	})
+}
+
+func (s *Sampler) samplePauliChannel1(rng *rand.Rand, op circuit.Op, shots int) {
+	px, py, pz := op.Args[0], op.Args[1], op.Args[2]
+	pt := px + py + pz
+	if pt <= 0 {
+		return
+	}
+	total := len(op.Targets) * shots
+	forEachFlip(rng, pt, total, func(bit int) {
+		q := op.Targets[bit/shots]
+		shot := uint(bit % shots)
+		u := rng.Float64() * pt
+		switch {
+		case u < px:
+			s.x[q] ^= 1 << shot
+		case u < px+py:
+			s.x[q] ^= 1 << shot
+			s.z[q] ^= 1 << shot
+		default:
+			s.z[q] ^= 1 << shot
+		}
+	})
+}
+
+func applyPacked(s *Sampler, q int32, pauli int, shot uint) {
+	switch pauli {
+	case 1:
+		s.x[q] ^= 1 << shot
+	case 2:
+		s.x[q] ^= 1 << shot
+		s.z[q] ^= 1 << shot
+	case 3:
+		s.z[q] ^= 1 << shot
+	}
+}
+
+// forEachFlip visits each of nbits Bernoulli(p) successes using geometric
+// skipping, so the cost is proportional to the number of events rather
+// than the number of trials.
+func forEachFlip(rng *rand.Rand, p float64, nbits int, fn func(bit int)) {
+	if p <= 0 || nbits == 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < nbits; i++ {
+			fn(i)
+		}
+		return
+	}
+	invLog := 1 / math.Log1p(-p)
+	pos := 0
+	for {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		skip := int(math.Log(u) * invLog)
+		if skip < 0 {
+			skip = 0
+		}
+		pos += skip
+		if pos >= nbits {
+			return
+		}
+		fn(pos)
+		pos++
+	}
+}
+
+// CountDetectorFires samples the requested number of shots and returns
+// the per-detector fire counts plus per-observable flip counts. Used by
+// syndrome-statistics experiments (Fig. 7) that do not need decoding.
+func (s *Sampler) CountDetectorFires(rng *rand.Rand, shots int) (detCounts []int, obsCounts []int) {
+	detCounts = make([]int, s.numDetectors)
+	obsCounts = make([]int, s.numObs)
+	for done := 0; done < shots; {
+		n := shots - done
+		if n > 64 {
+			n = 64
+		}
+		b := s.SampleBatch(rng, n)
+		mask := batchMask(n)
+		for d, w := range b.Det {
+			detCounts[d] += bits.OnesCount64(w & mask)
+		}
+		for o, w := range b.Obs {
+			obsCounts[o] += bits.OnesCount64(w & mask)
+		}
+		done += n
+	}
+	return detCounts, obsCounts
+}
+
+func batchMask(shots int) uint64 {
+	if shots >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(shots)) - 1
+}

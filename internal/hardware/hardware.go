@@ -1,0 +1,126 @@
+// Package hardware holds the platform parameter sets of Table 3 of the
+// paper: coherence times, gate/readout/reset latencies and the resulting
+// syndrome-generation cycle time.
+package hardware
+
+// Config describes one hardware platform. All durations are nanoseconds.
+type Config struct {
+	Name      string
+	T1Ns      float64
+	T2Ns      float64
+	Gate1Ns   float64 // single-qubit gate latency
+	Gate2Ns   float64 // two-qubit gate latency
+	ReadoutNs float64
+	ResetNs   float64
+}
+
+// CycleNs returns the syndrome-generation cycle duration: two Hadamard
+// layers, four CNOT layers, readout and reset (paper Table 3).
+func (c Config) CycleNs() float64 {
+	return 2*c.Gate1Ns + 4*c.Gate2Ns + c.ReadoutNs + c.ResetNs
+}
+
+// Scaled returns a copy with all latencies scaled so the cycle time
+// equals targetCycleNs. Coherence times are unchanged. The paper's §7.3
+// evaluations use synthetic cycle times (e.g. T_P=1000ns) with a given
+// platform's noise profile; this produces exactly that combination.
+func (c Config) Scaled(targetCycleNs float64) Config {
+	f := targetCycleNs / c.CycleNs()
+	out := c
+	out.Gate1Ns *= f
+	out.Gate2Ns *= f
+	out.ReadoutNs *= f
+	out.ResetNs *= f
+	return out
+}
+
+// WithExtraCNOTLayers returns a copy whose cycle is lengthened by n
+// two-qubit gate layers, emulating codes with deeper syndrome circuits
+// (color/qLDPC patches, §3.2.1): the extra time shows up as idling on the
+// patch's qubits.
+func (c Config) WithExtraCNOTLayers(n int) Config {
+	out := c
+	out.ResetNs += float64(n) * c.Gate2Ns
+	return out
+}
+
+// IBM returns the IBM-like configuration of Table 3 (~1900ns cycle).
+func IBM() Config {
+	return Config{
+		Name:      "IBM",
+		T1Ns:      200_000, // 200µs
+		T2Ns:      150_000, // 150µs
+		Gate1Ns:   50,
+		Gate2Ns:   70,
+		ReadoutNs: 1500,
+		ResetNs:   20,
+	}
+}
+
+// Google returns the Google-like configuration of Table 3 (~1100ns cycle).
+func Google() Config {
+	return Config{
+		Name:      "Google",
+		T1Ns:      25_000, // 25µs
+		T2Ns:      40_000, // 40µs
+		Gate1Ns:   35,
+		Gate2Ns:   42,
+		ReadoutNs: 660,
+		ResetNs:   202,
+	}
+}
+
+// QuEra returns the neutral-atom configuration of Table 3 (~2ms cycle).
+func QuEra() Config {
+	return Config{
+		Name:      "QuEra",
+		T1Ns:      4e9,   // 4s
+		T2Ns:      1.5e9, // 1.5s
+		Gate1Ns:   5_000, // 5µs
+		Gate2Ns:   200_000,
+		ReadoutNs: 1e6, // 1ms
+		ResetNs:   190_000,
+	}
+}
+
+// Sherbrooke returns the worst-case qubit parameters used for the
+// repetition-code idling experiment of Fig. 1(c) (IBM Sherbrooke,
+// qubits 33, 37–40).
+func Sherbrooke() Config {
+	return Config{
+		Name:      "IBM-Sherbrooke",
+		T1Ns:      330_770, // 330.77µs
+		T2Ns:      72_680,  // 72.68µs
+		Gate1Ns:   50,
+		Gate2Ns:   70,
+		ReadoutNs: 1500,
+		ResetNs:   20,
+	}
+}
+
+// ByName returns the named configuration (IBM, Google, QuEra,
+// IBM-Sherbrooke) and whether it exists.
+func ByName(name string) (Config, bool) {
+	switch name {
+	case "IBM":
+		return IBM(), true
+	case "Google":
+		return Google(), true
+	case "QuEra":
+		return QuEra(), true
+	case "IBM-Sherbrooke":
+		return Sherbrooke(), true
+	}
+	return Config{}, false
+}
+
+// Ideal returns a configuration with IBM-like latencies but effectively
+// infinite coherence times: idle channels carry zero probability. Used by
+// tests that need noise-free timing structure.
+func Ideal() Config {
+	c := IBM()
+	c.Name = "Ideal"
+	c.T1Ns = 1e30
+	c.T2Ns = 1e30
+	return c
+}

@@ -1,0 +1,73 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable3CycleTimes pins the derived cycle times to the paper's
+// Table 3 values.
+func TestTable3CycleTimes(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64
+		tol  float64
+	}{
+		{IBM(), 1900, 30},    // "~1900ns"
+		{Google(), 1100, 30}, // "~1100ns"
+		{QuEra(), 2e6, 5e4},  // "~2ms"
+	}
+	for _, c := range cases {
+		if got := c.cfg.CycleNs(); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s cycle = %v, want %v±%v", c.cfg.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	hw := IBM().Scaled(1000)
+	if math.Abs(hw.CycleNs()-1000) > 1e-9 {
+		t.Fatalf("scaled cycle = %v", hw.CycleNs())
+	}
+	if hw.T1Ns != IBM().T1Ns {
+		t.Fatal("scaling must not touch coherence times")
+	}
+	if hw.Gate2Ns >= IBM().Gate2Ns {
+		t.Fatal("latencies must shrink when scaling down")
+	}
+}
+
+func TestWithExtraCNOTLayers(t *testing.T) {
+	base := IBM()
+	ext := base.WithExtraCNOTLayers(3)
+	want := base.CycleNs() + 3*base.Gate2Ns
+	if math.Abs(ext.CycleNs()-want) > 1e-9 {
+		t.Fatalf("extended cycle = %v, want %v", ext.CycleNs(), want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"IBM", "Google", "QuEra", "IBM-Sherbrooke"} {
+		cfg, ok := ByName(name)
+		if !ok || cfg.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("Rigetti"); ok {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSherbrookeCoherence(t *testing.T) {
+	s := Sherbrooke()
+	if s.T1Ns != 330_770 || s.T2Ns != 72_680 {
+		t.Fatalf("Sherbrooke T1/T2 = %v/%v, want footnote values", s.T1Ns, s.T2Ns)
+	}
+}
+
+func TestIdealHasNoIdleError(t *testing.T) {
+	c := Ideal()
+	if c.T1Ns < 1e29 || c.T2Ns < 1e29 {
+		t.Fatal("Ideal must have effectively infinite coherence")
+	}
+}

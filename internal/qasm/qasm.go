@@ -1,0 +1,268 @@
+// Package qasm parses the OpenQASM 2.0 subset needed to analyze
+// lattice-surgery workloads (paper §6: "lattice-sim consists of a parser
+// that can take QASM circuits as an input").
+//
+// Supported statements: OPENQASM/include headers, qreg/creg declarations,
+// the standard gates h, x, y, z, s, sdg, t, tdg, cx (plus cz via
+// h-conjugation at analysis level), measure, barrier, and comments.
+// Parameterized single-qubit rotations (rz, rx, u1...) are accepted and
+// recorded as rotation ops — they matter for T-count analysis because
+// each arbitrary rotation synthesizes into a T sequence.
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Gate is one circuit operation.
+type Gate struct {
+	Name   string
+	Qubits []int
+}
+
+// Program is a parsed QASM circuit.
+type Program struct {
+	NumQubits int
+	NumClbits int
+	Gates     []Gate
+}
+
+// registers tracks declared register offsets.
+type registers struct {
+	offsets map[string]int
+	sizes   map[string]int
+	total   int
+}
+
+func newRegisters() *registers {
+	return &registers{offsets: map[string]int{}, sizes: map[string]int{}}
+}
+
+func (r *registers) declare(name string, size int) error {
+	if _, dup := r.offsets[name]; dup {
+		return fmt.Errorf("register %q redeclared", name)
+	}
+	r.offsets[name] = r.total
+	r.sizes[name] = size
+	r.total += size
+	return nil
+}
+
+func (r *registers) resolve(ref string) (int, error) {
+	open := strings.IndexByte(ref, '[')
+	if open < 0 || !strings.HasSuffix(ref, "]") {
+		return 0, fmt.Errorf("unsupported whole-register reference %q", ref)
+	}
+	name := strings.TrimSpace(ref[:open])
+	idxStr := ref[open+1 : len(ref)-1]
+	idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+	if err != nil {
+		return 0, fmt.Errorf("bad index in %q", ref)
+	}
+	off, ok := r.offsets[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", name)
+	}
+	if idx < 0 || idx >= r.sizes[name] {
+		return 0, fmt.Errorf("index %d out of range for %q[%d]", idx, name, r.sizes[name])
+	}
+	return off + idx, nil
+}
+
+// Parse reads an OpenQASM 2.0 program.
+func Parse(r io.Reader) (*Program, error) {
+	prog := &Program{}
+	qregs := newRegisters()
+	cregs := newRegisters()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	var pending strings.Builder
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		buf := pending.String()
+		for {
+			semi := strings.IndexByte(buf, ';')
+			if semi < 0 {
+				break
+			}
+			stmt := strings.TrimSpace(buf[:semi])
+			buf = buf[semi+1:]
+			if stmt == "" {
+				continue
+			}
+			if err := parseStatement(prog, qregs, cregs, stmt); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		pending.Reset()
+		pending.WriteString(buf)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rest := strings.TrimSpace(pending.String()); rest != "" {
+		return nil, fmt.Errorf("trailing unterminated statement %q", rest)
+	}
+	prog.NumQubits = qregs.total
+	prog.NumClbits = cregs.total
+	return prog, nil
+}
+
+// ParseString parses a QASM program from a string.
+func ParseString(s string) (*Program, error) { return Parse(strings.NewReader(s)) }
+
+func parseStatement(prog *Program, qregs, cregs *registers, stmt string) error {
+	lower := strings.ToLower(stmt)
+	switch {
+	case strings.HasPrefix(lower, "openqasm"), strings.HasPrefix(lower, "include"):
+		return nil
+	case strings.HasPrefix(lower, "qreg"), strings.HasPrefix(lower, "creg"):
+		rest := strings.TrimSpace(stmt[4:])
+		open := strings.IndexByte(rest, '[')
+		close := strings.IndexByte(rest, ']')
+		if open < 0 || close < open {
+			return fmt.Errorf("bad register declaration %q", stmt)
+		}
+		name := strings.TrimSpace(rest[:open])
+		size, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : close]))
+		if err != nil || size <= 0 {
+			return fmt.Errorf("bad register size in %q", stmt)
+		}
+		if strings.HasPrefix(lower, "qreg") {
+			return qregs.declare(name, size)
+		}
+		return cregs.declare(name, size)
+	case strings.HasPrefix(lower, "barrier"):
+		return nil
+	case strings.HasPrefix(lower, "measure"):
+		rest := strings.TrimSpace(stmt[len("measure"):])
+		parts := strings.SplitN(rest, "->", 2)
+		q, err := qregs.resolve(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		prog.Gates = append(prog.Gates, Gate{Name: "measure", Qubits: []int{q}})
+		return nil
+	}
+	// Gate application: name[(params)] q[i] (, q[j])*
+	name := stmt
+	rest := ""
+	if i := strings.IndexAny(stmt, " \t("); i >= 0 {
+		name = stmt[:i]
+		rest = stmt[i:]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if p := strings.IndexByte(rest, '('); p >= 0 {
+		q := strings.IndexByte(rest, ')')
+		if q < p {
+			return fmt.Errorf("unbalanced parameters in %q", stmt)
+		}
+		rest = rest[q+1:]
+	}
+	var qubits []int
+	for _, ref := range strings.Split(rest, ",") {
+		ref = strings.TrimSpace(ref)
+		if ref == "" {
+			continue
+		}
+		q, err := qregs.resolve(ref)
+		if err != nil {
+			return err
+		}
+		qubits = append(qubits, q)
+	}
+	if len(qubits) == 0 {
+		return fmt.Errorf("gate %q with no targets", stmt)
+	}
+	switch name {
+	case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "id":
+		if len(qubits) != 1 {
+			return fmt.Errorf("%s expects one qubit", name)
+		}
+	case "cx", "cz", "swap":
+		if len(qubits) != 2 {
+			return fmt.Errorf("%s expects two qubits", name)
+		}
+	case "rz", "rx", "ry", "u1", "u2", "u3", "p":
+		if len(qubits) != 1 {
+			return fmt.Errorf("%s expects one qubit", name)
+		}
+	default:
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	prog.Gates = append(prog.Gates, Gate{Name: name, Qubits: qubits})
+	return nil
+}
+
+// Analysis summarizes the lattice-surgery demands of a program (§2.2:
+// every CNOT and every non-Clifford gate is a multi-patch operation that
+// requires synchronization).
+type Analysis struct {
+	NumQubits int
+	// TCount counts T/T† gates plus synthesized rotations (each arbitrary
+	// rotation contributes RotationTCost T states).
+	TCount int
+	// CNOTs counts two-qubit operations (long-range CNOTs under lattice
+	// surgery).
+	CNOTs int
+	// SyncOps is the number of operations needing synchronized lattice
+	// surgery: CNOTs plus T consumptions.
+	SyncOps int
+	// Depth is the ASAP-scheduled layer count.
+	Depth int
+	// MaxConcurrentCNOTs is the largest number of two-qubit operations in
+	// one ASAP layer (Fig. 20 left).
+	MaxConcurrentCNOTs int
+}
+
+// RotationTCost is the T-count of synthesizing one arbitrary rotation to
+// ~1e-10 precision (Ross–Selinger scale).
+const RotationTCost = 52
+
+// Analyze computes the lattice-surgery workload statistics.
+func Analyze(p *Program) Analysis {
+	a := Analysis{NumQubits: p.NumQubits}
+	ready := make([]int, p.NumQubits) // earliest free layer per qubit
+	cnotsPerLayer := map[int]int{}
+	for _, g := range p.Gates {
+		switch g.Name {
+		case "t", "tdg":
+			a.TCount++
+		case "rz", "rx", "ry", "u1", "u2", "u3", "p":
+			a.TCount += RotationTCost
+		case "cx", "cz", "swap":
+			a.CNOTs++
+		}
+		layer := 0
+		for _, q := range g.Qubits {
+			if ready[q] > layer {
+				layer = ready[q]
+			}
+		}
+		for _, q := range g.Qubits {
+			ready[q] = layer + 1
+		}
+		if layer+1 > a.Depth {
+			a.Depth = layer + 1
+		}
+		if len(g.Qubits) == 2 {
+			cnotsPerLayer[layer]++
+			if cnotsPerLayer[layer] > a.MaxConcurrentCNOTs {
+				a.MaxConcurrentCNOTs = cnotsPerLayer[layer]
+			}
+		}
+	}
+	a.SyncOps = a.CNOTs + a.TCount
+	return a
+}

@@ -1,0 +1,147 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+const ghz = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+`
+
+func TestParseGHZ(t *testing.T) {
+	p, err := ParseString(ghz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits != 3 || p.NumClbits != 3 {
+		t.Fatalf("qubits=%d clbits=%d", p.NumQubits, p.NumClbits)
+	}
+	if len(p.Gates) != 6 {
+		t.Fatalf("gates=%d, want 6", len(p.Gates))
+	}
+	if p.Gates[1].Name != "cx" || p.Gates[1].Qubits[0] != 0 || p.Gates[1].Qubits[1] != 1 {
+		t.Fatalf("gate 1: %+v", p.Gates[1])
+	}
+}
+
+func TestParseMultiRegister(t *testing.T) {
+	src := `qreg a[2]; qreg b[2]; cx a[1], b[0];`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits != 4 {
+		t.Fatalf("qubits=%d", p.NumQubits)
+	}
+	// b[0] is global qubit 2.
+	if p.Gates[0].Qubits[0] != 1 || p.Gates[0].Qubits[1] != 2 {
+		t.Fatalf("offsets wrong: %+v", p.Gates[0])
+	}
+}
+
+func TestParseParameterizedGates(t *testing.T) {
+	src := `qreg q[1]; rz(0.5) q[0]; u3(1,2,3) q[0]; t q[0]; tdg q[0];`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Gates) != 4 {
+		t.Fatalf("gates=%d", len(p.Gates))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "qreg q[1]; // register\nh q[0]; // gate\n"
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Gates) != 1 {
+		t.Fatalf("gates=%d", len(p.Gates))
+	}
+}
+
+func TestParseMultiLineStatement(t *testing.T) {
+	src := "qreg q[2];\ncx q[0],\n   q[1];\n"
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Gates) != 1 || p.Gates[0].Name != "cx" {
+		t.Fatalf("gates: %+v", p.Gates)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`qreg q[2]; frobnicate q[0];`,  // unknown gate
+		`qreg q[1]; cx q[0], q[0]`,     // unterminated
+		`qreg q[1]; h q[5];`,           // out of range
+		`qreg q[1]; h r[0];`,           // unknown register
+		`qreg q[1]; qreg q[2];`,        // redeclared
+		`qreg q[2]; h q[0], q[1];`,     // wrong arity
+		`qreg q[0];`,                   // empty register
+		`qreg q[2]; cx q;`,             // whole-register reference
+		`qreg q[1]; measure q[0] -> ;`, // hmm: missing clbit is tolerated? ensure no panic
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil && !strings.Contains(src, "measure") {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	p, err := ParseString(ghz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if a.CNOTs != 2 || a.TCount != 0 {
+		t.Fatalf("cnots=%d t=%d", a.CNOTs, a.TCount)
+	}
+	if a.SyncOps != 2 {
+		t.Fatalf("sync ops=%d", a.SyncOps)
+	}
+	// GHZ chain is serial: max one concurrent CNOT.
+	if a.MaxConcurrentCNOTs != 1 {
+		t.Fatalf("max concurrent=%d", a.MaxConcurrentCNOTs)
+	}
+}
+
+func TestAnalyzeConcurrency(t *testing.T) {
+	src := `qreg q[4]; cx q[0], q[1]; cx q[2], q[3];`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if a.MaxConcurrentCNOTs != 2 {
+		t.Fatalf("max concurrent=%d, want 2 (disjoint CNOTs)", a.MaxConcurrentCNOTs)
+	}
+	if a.Depth != 1 {
+		t.Fatalf("depth=%d, want 1", a.Depth)
+	}
+}
+
+func TestAnalyzeRotationSynthesis(t *testing.T) {
+	src := `qreg q[1]; rz(0.3) q[0]; t q[0];`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if a.TCount != RotationTCost+1 {
+		t.Fatalf("TCount=%d, want %d", a.TCount, RotationTCost+1)
+	}
+}

@@ -1,0 +1,202 @@
+// Package repcode simulates the three-qubit repetition code idling
+// experiment of Fig. 1(c): two rounds of syndrome measurement with a
+// variable idle period inserted before the final round, decoded with a
+// lookup table, run for both logical states |0⟩_L = |000⟩ and
+// |1⟩_L = |111⟩ on IBM-Sherbrooke-like qubits.
+//
+// The repetition code protects only against bit flips, so the experiment
+// is a classical stochastic process over bit-flip events. Idling is
+// modeled with explicit amplitude damping (|1⟩ decays to |0⟩ with
+// probability 1−e^(−τ/T1)) plus the symmetric twirled channel for the
+// residual; this reproduces the asymmetry between the two logical states
+// seen on hardware (|1⟩_L degrades faster).
+package repcode
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+)
+
+// Spec configures the experiment.
+type Spec struct {
+	HW hardware.Config
+	// IdleNs is the idle period before the final syndrome round.
+	IdleNs float64
+	// One selects |1⟩_L (true) or |0⟩_L (false).
+	One bool
+	// GateErr is the per-CNOT bit-flip probability (measurement circuit
+	// noise); MeasErr the readout assignment error.
+	GateErr float64
+	MeasErr float64
+	// TcorrNs is the correlation time of the low-frequency noise that the
+	// X-X DD sequence converts into bit flips (imperfect pulses riding on
+	// a drifting frame). Hardware shows idle-induced errors growing far
+	// faster than bare T1/T2 predict — this quadratic term reproduces the
+	// steep rise of Fig. 1(c).
+	TcorrNs float64
+	// ExcitedBias is the share of the correlated flip rate seen by |0⟩
+	// relative to |1⟩ (<1: the excited state is hit harder, adding to its
+	// amplitude-damping disadvantage).
+	ExcitedBias float64
+}
+
+// DefaultSpec returns the published experiment's parameters: Sherbrooke
+// worst-case coherence, typical gate/readout errors, X-X DD on idles.
+func DefaultSpec(idleNs float64, one bool) Spec {
+	return Spec{
+		HW:          hardware.Sherbrooke(),
+		IdleNs:      idleNs,
+		One:         one,
+		GateErr:     0.007,
+		MeasErr:     0.02,
+		TcorrNs:     1600,
+		ExcitedBias: 0.45,
+	}
+}
+
+// Result reports the logical error rate over the shots taken.
+type Result struct {
+	stats.Binomial
+}
+
+// state is the three data bits.
+type state struct{ b [3]bool }
+
+func (s *state) flip(i int) { s.b[i] = !s.b[i] }
+
+// decayProb is the amplitude-damping probability for an idle of tau
+// (plus the readout window during which the data qubits keep decaying).
+func (s Spec) decayProb(tauNs float64) float64 {
+	return 1 - math.Exp(-(tauNs+s.HW.ReadoutNs)/s.HW.T1Ns)
+}
+
+// correlatedFlip is the DD-converted bit-flip probability for an idle of
+// tau: Gaussian in tau/Tcorr, saturating at 1/2.
+func (s Spec) correlatedFlip(tauNs float64) float64 {
+	x := tauNs / s.TcorrNs
+	return 0.5 * (1 - math.Exp(-x*x))
+}
+
+// Run simulates the experiment for the given number of shots.
+func Run(spec Spec, shots int, seed uint64) Result {
+	rng := stats.NewRand(seed)
+	errors := 0
+	for i := 0; i < shots; i++ {
+		if runShot(spec, rng) {
+			errors++
+		}
+	}
+	return Result{stats.Binomial{Successes: errors, Trials: shots}}
+}
+
+// runShot returns true when the decoded logical value is wrong.
+func runShot(spec Spec, rng *rand.Rand) bool {
+	var st state
+	if spec.One {
+		st = state{b: [3]bool{true, true, true}}
+	}
+	logical := spec.One
+
+	// Round 1: syndrome extraction (two parity checks via CNOT pairs).
+	s1 := measureSyndrome(&st, spec, rng)
+
+	// Idle period with DD before the final round.
+	idle(&st, spec, spec.IdleNs, rng)
+
+	// Round 2 syndromes plus final data readout.
+	s2 := measureSyndrome(&st, spec, rng)
+	data := [3]bool{}
+	for i := range data {
+		data[i] = st.b[i]
+		if rng.Float64() < spec.MeasErr {
+			data[i] = !data[i]
+		}
+	}
+
+	decoded := decodeLUT(s1, s2, data)
+	return decoded != logical
+}
+
+// idle applies the idling error channel for tau ns: amplitude damping on
+// excited qubits plus the DD-converted correlated flips, biased against
+// the excited state.
+func idle(st *state, spec Spec, tauNs float64, rng *rand.Rand) {
+	if tauNs <= 0 {
+		return
+	}
+	pDecay := spec.decayProb(tauNs)
+	pCorr := spec.correlatedFlip(tauNs)
+	for i := 0; i < 3; i++ {
+		if st.b[i] {
+			if rng.Float64() < pDecay+pCorr*(1-pDecay) {
+				st.b[i] = false
+			}
+		} else {
+			if rng.Float64() < pCorr*spec.ExcitedBias {
+				st.b[i] = true
+			}
+		}
+	}
+}
+
+// measureSyndrome extracts the two parity bits with noisy CNOTs and
+// readout; the gate noise can also flip the data.
+func measureSyndrome(st *state, spec Spec, rng *rand.Rand) [2]bool {
+	var out [2]bool
+	for k := 0; k < 2; k++ {
+		// CNOT data[k]→anc and data[k+1]→anc with gate noise on data.
+		for _, dq := range []int{k, k + 1} {
+			if rng.Float64() < spec.GateErr {
+				st.flip(dq)
+			}
+		}
+		par := st.b[k] != st.b[k+1]
+		if rng.Float64() < spec.MeasErr {
+			par = !par
+		}
+		out[k] = par
+	}
+	return out
+}
+
+// decodeLUT is the lookup-table decoder of the experiment: majority vote
+// on the final data, with the syndrome history used to reject readout
+// errors (match the last syndrome against the data-implied parities; on
+// mismatch trust the syndrome's majority correction).
+func decodeLUT(s1, s2 [2]bool, data [3]bool) bool {
+	implied := [2]bool{data[0] != data[1], data[1] != data[2]}
+	if implied != s2 {
+		// Data readout inconsistent with the final stabilizer record:
+		// flip the single bit that reconciles them, if one exists.
+		for i := 0; i < 3; i++ {
+			d := data
+			d[i] = !d[i]
+			if ([2]bool{d[0] != d[1], d[1] != d[2]}) == s2 {
+				data = d
+				break
+			}
+		}
+	}
+	_ = s1
+	ones := 0
+	for _, b := range data {
+		if b {
+			ones++
+		}
+	}
+	return ones >= 2
+}
+
+// Sweep runs the idle-period sweep of Fig. 1(c).
+func Sweep(idlesNs []float64, shots int, seed uint64) (zero, one []Result) {
+	zero = make([]Result, len(idlesNs))
+	one = make([]Result, len(idlesNs))
+	for i, idle := range idlesNs {
+		zero[i] = Run(DefaultSpec(idle, false), shots, seed+uint64(2*i))
+		one[i] = Run(DefaultSpec(idle, true), shots, seed+uint64(2*i+1))
+	}
+	return zero, one
+}

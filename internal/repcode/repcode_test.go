@@ -1,0 +1,76 @@
+package repcode
+
+import "testing"
+
+// TestLERGrowsWithIdling reproduces the core trend of Fig. 1(c): logical
+// error rate grows sharply with the idle period.
+func TestLERGrowsWithIdling(t *testing.T) {
+	const shots = 30000
+	short := Run(DefaultSpec(0, true), shots, 1)
+	long := Run(DefaultSpec(800, true), shots, 2)
+	if long.Rate() <= short.Rate() {
+		t.Fatalf("LER at 800ns (%v) must exceed LER at 0ns (%v)", long.Rate(), short.Rate())
+	}
+}
+
+// TestOneWorseThanZero: |1⟩_L decays via amplitude damping while |0⟩_L
+// only suffers rare thermal excitation, so the excited logical state must
+// be less reliable (the asymmetry visible in Fig. 1(c)).
+func TestOneWorseThanZero(t *testing.T) {
+	const shots = 60000
+	zero := Run(DefaultSpec(800, false), shots, 3)
+	one := Run(DefaultSpec(800, true), shots, 4)
+	if one.Rate() <= zero.Rate() {
+		t.Fatalf("|1>_L LER (%v) must exceed |0>_L LER (%v)", one.Rate(), zero.Rate())
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	idles := []float64{0, 400, 800}
+	zero, one := Sweep(idles, 20000, 5)
+	if len(zero) != 3 || len(one) != 3 {
+		t.Fatal("sweep length")
+	}
+	if one[2].Rate() <= one[0].Rate() {
+		t.Fatalf("|1>_L sweep not increasing: %v .. %v", one[0].Rate(), one[2].Rate())
+	}
+}
+
+// TestDecoderCorrectsSingleFlips: with a clean circuit except a single
+// data flip, the majority decoder must recover the logical value.
+func TestDecoderCorrectsSingleFlips(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		data := [3]bool{true, true, true}
+		data[i] = false
+		s2 := [2]bool{data[0] != data[1], data[1] != data[2]}
+		if !decodeLUT([2]bool{}, s2, data) {
+			t.Fatalf("single flip on qubit %d not corrected for |1>_L", i)
+		}
+		dataZ := [3]bool{false, false, false}
+		dataZ[i] = true
+		s2z := [2]bool{dataZ[0] != dataZ[1], dataZ[1] != dataZ[2]}
+		if decodeLUT([2]bool{}, s2z, dataZ) {
+			t.Fatalf("single flip on qubit %d not corrected for |0>_L", i)
+		}
+	}
+}
+
+// TestDecoderUsesSyndromeForReadoutErrors: a readout error on one data
+// bit disagrees with the final syndrome and must be repaired.
+func TestDecoderUsesSyndromeForReadoutErrors(t *testing.T) {
+	// True state |111⟩, syndrome says (0,0), but data[1] read as 0.
+	data := [3]bool{true, false, true}
+	if !decodeLUT([2]bool{}, [2]bool{false, false}, data) {
+		t.Fatal("readout error not repaired via syndrome consistency")
+	}
+}
+
+func TestRateSanity(t *testing.T) {
+	r := Run(DefaultSpec(200, false), 5000, 7)
+	if r.Rate() < 0 || r.Rate() > 0.5 {
+		t.Fatalf("LER %v implausible", r.Rate())
+	}
+	if r.Trials != 5000 {
+		t.Fatal("trial count wrong")
+	}
+}

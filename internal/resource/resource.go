@@ -1,0 +1,165 @@
+// Package resource provides an Azure-QRE-style resource estimator and
+// the MQTBench workload table used by the paper (§3.3, Fig. 3(c),
+// Fig. 16, Fig. 20).
+//
+// The paper obtained magic-state counts and logical cycle counts from the
+// Azure Quantum Resource Estimator; that tool is a closed cloud service,
+// so this package hardcodes the per-workload outputs the paper annotates
+// (total logical cycles in Fig. 3(c)) together with representative T
+// counts and concurrency figures calibrated to the published
+// sync-per-cycle range of 1–11 (see EXPERIMENTS.md). The estimator
+// itself (distance selection, qubit counts, runtime) implements the
+// standard QRE formulas and is exercised by the examples.
+package resource
+
+import (
+	"fmt"
+	"math"
+
+	"latticesim/internal/hardware"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name          string
+	LogicalQubits int
+	// TCount is the number of T states the program consumes; every T
+	// consumption requires at least one synchronized Lattice Surgery
+	// operation (§3.3).
+	TCount int
+	// LogicalCycles is the total number of error-correction cycles needed
+	// to run the program (Fig. 3(c) annotations).
+	LogicalCycles int
+	// MaxConcurrentCNOTs bounds how many Lattice Surgery operations can
+	// need synchronization simultaneously (Fig. 20, left).
+	MaxConcurrentCNOTs int
+}
+
+// SyncsPerCycle is the paper's lower bound on synchronizations per
+// error-correction cycle: T-state consumptions divided by total cycles.
+func (w Workload) SyncsPerCycle() float64 {
+	if w.LogicalCycles == 0 {
+		return 0
+	}
+	return float64(w.TCount) / float64(w.LogicalCycles)
+}
+
+// Workloads returns the six MQTBench programs of Fig. 3(c) with the
+// paper-annotated cycle counts.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "multiplier-75", LogicalQubits: 75, TCount: 35154, LogicalCycles: 3255, MaxConcurrentCNOTs: 37},
+		{Name: "wstate-118", LogicalQubits: 118, TCount: 8674, LogicalCycles: 2224, MaxConcurrentCNOTs: 50},
+		{Name: "shor-15", LogicalQubits: 31, TCount: 534118, LogicalCycles: 118693, MaxConcurrentCNOTs: 8},
+		{Name: "qpe-80", LogicalQubits: 80, TCount: 129800, LogicalCycles: 16225, MaxConcurrentCNOTs: 41},
+		{Name: "qft-80", LogicalQubits: 80, TCount: 105968, LogicalCycles: 13246, MaxConcurrentCNOTs: 40},
+		{Name: "ising-98", LogicalQubits: 98, TCount: 1688, LogicalCycles: 582, MaxConcurrentCNOTs: 49},
+	}
+}
+
+// WorkloadByName looks a workload up.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Estimate is the QRE-style physical resource estimate.
+type Estimate struct {
+	Workload         Workload
+	CodeDistance     int
+	PhysicalQubits   int
+	TFactories       int
+	RuntimeNs        float64
+	LogicalErrorRate float64 // per logical qubit per cycle at the distance
+}
+
+// Surface code logical error model P_L = A·(p/p_th)^((d+1)/2), the
+// standard QRE fit.
+const (
+	logicalA  = 0.03
+	threshold = 0.01
+)
+
+// LogicalErrorPerCycle returns the per-qubit per-cycle logical error rate
+// at distance d and physical error rate p.
+func LogicalErrorPerCycle(d int, p float64) float64 {
+	return logicalA * math.Pow(p/threshold, float64(d+1)/2)
+}
+
+// DistanceFor returns the smallest odd distance whose total logical error
+// stays below the budget for the workload.
+func DistanceFor(w Workload, p, budget float64) int {
+	for d := 3; d <= 51; d += 2 {
+		total := LogicalErrorPerCycle(d, p) * float64(w.LogicalQubits) * float64(w.LogicalCycles)
+		if total < budget {
+			return d
+		}
+	}
+	return 51
+}
+
+// EstimateFor produces the full estimate for a workload on a platform.
+func EstimateFor(w Workload, hw hardware.Config, p, budget float64) Estimate {
+	d := DistanceFor(w, p, budget)
+	perPatch := 2*d*d - 1 // data + measure qubits of a rotated patch
+	// Layout overhead: compute patches plus routing space (Litinski-style
+	// fast block: ~1.5× patches) plus one T factory per 10 logical qubits.
+	factories := (w.LogicalQubits + 9) / 10
+	physical := perPatch*w.LogicalQubits*3/2 + factories*perPatch*18
+	return Estimate{
+		Workload:         w,
+		CodeDistance:     d,
+		PhysicalQubits:   physical,
+		TFactories:       factories,
+		RuntimeNs:        float64(w.LogicalCycles) * float64(d) * hw.CycleNs(),
+		LogicalErrorRate: LogicalErrorPerCycle(d, p),
+	}
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: d=%d physQubits=%d factories=%d runtime=%.3gms",
+		e.Workload.Name, e.CodeDistance, e.PhysicalQubits, e.TFactories, e.RuntimeNs/1e6)
+}
+
+// FinalLERModel computes the Fig. 16 metric: the relative increase in a
+// program's final logical error rate when a synchronization policy is
+// used, compared to an ideal system that needs no synchronization. The
+// final LER is (program background) + (#syncs × per-sync excess LER).
+type FinalLERModel struct {
+	// MemErrPerQubitCycle is the background logical error rate per
+	// logical qubit per cycle at the evaluation distance (d=15).
+	MemErrPerQubitCycle float64
+	// PerSync maps policy labels to per-synchronization logical error
+	// rates at d=15 (measured in §7.2; defaults extrapolated from the
+	// repository's own simulations).
+	SyncIdeal, SyncActive           float64
+	SyncPassive500, SyncPassive1000 float64
+}
+
+// DefaultFinalLERModel gives the d=15 calibration used for Fig. 16.
+func DefaultFinalLERModel() FinalLERModel {
+	return FinalLERModel{
+		MemErrPerQubitCycle: 2.6e-8,
+		SyncIdeal:           5.0e-8,
+		SyncActive:          1.35e-6,
+		SyncPassive500:      2.9e-6,
+		SyncPassive1000:     4.2e-6,
+	}
+}
+
+// Increase returns final-LER(policy)/final-LER(ideal) for the workload.
+func (m FinalLERModel) Increase(w Workload, perSync float64) float64 {
+	base := m.MemErrPerQubitCycle*float64(w.LogicalQubits)*float64(w.LogicalCycles) +
+		m.SyncIdeal*float64(w.TCount)
+	withPolicy := m.MemErrPerQubitCycle*float64(w.LogicalQubits)*float64(w.LogicalCycles) +
+		perSync*float64(w.TCount)
+	if base <= 0 {
+		return 1
+	}
+	return withPolicy / base
+}

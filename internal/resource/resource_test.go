@@ -1,0 +1,112 @@
+package resource
+
+import (
+	"math"
+	"testing"
+
+	"latticesim/internal/hardware"
+)
+
+// TestFig3cAnnotations pins the paper-annotated logical cycle counts.
+func TestFig3cAnnotations(t *testing.T) {
+	want := map[string]int{
+		"multiplier-75": 3255,
+		"wstate-118":    2224,
+		"shor-15":       118693,
+		"qpe-80":        16225,
+		"qft-80":        13246,
+		"ising-98":      582,
+	}
+	for name, cycles := range want {
+		w, ok := WorkloadByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		if w.LogicalCycles != cycles {
+			t.Errorf("%s cycles = %d, want %d (Fig. 3(c) annotation)", name, w.LogicalCycles, cycles)
+		}
+	}
+}
+
+// TestSyncRateRange: the paper reports 1–11 synchronizations per cycle.
+func TestSyncRateRange(t *testing.T) {
+	for _, w := range Workloads() {
+		r := w.SyncsPerCycle()
+		if r < 1 || r > 11 {
+			t.Errorf("%s: sync/cycle %.2f outside the paper's 1-11 range", w.Name, r)
+		}
+	}
+}
+
+func TestWorkloadByNameMiss(t *testing.T) {
+	if _, ok := WorkloadByName("nope"); ok {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestLogicalErrorModel(t *testing.T) {
+	// At threshold the rate equals the prefactor; below it decays with d.
+	if math.Abs(LogicalErrorPerCycle(3, threshold)-logicalA) > 1e-15 {
+		t.Fatal("threshold behaviour wrong")
+	}
+	if LogicalErrorPerCycle(5, 1e-3) >= LogicalErrorPerCycle(3, 1e-3) {
+		t.Fatal("LER must fall with distance below threshold")
+	}
+}
+
+func TestDistanceForBudget(t *testing.T) {
+	w, _ := WorkloadByName("shor-15")
+	d1 := DistanceFor(w, 1e-3, 1.0/3)
+	d2 := DistanceFor(w, 1e-3, 1e-6)
+	if d2 <= d1 {
+		t.Fatalf("tighter budgets need larger distances (%d vs %d)", d1, d2)
+	}
+	if d1%2 == 0 {
+		t.Fatal("distances must be odd")
+	}
+}
+
+func TestEstimateFor(t *testing.T) {
+	w, _ := WorkloadByName("qft-80")
+	est := EstimateFor(w, hardware.IBM(), 1e-3, 1.0/3)
+	if est.CodeDistance < 3 || est.PhysicalQubits <= w.LogicalQubits {
+		t.Fatalf("implausible estimate: %+v", est)
+	}
+	if est.RuntimeNs <= 0 || est.TFactories <= 0 {
+		t.Fatalf("missing runtime/factories: %+v", est)
+	}
+	if est.String() == "" {
+		t.Fatal("estimate must render")
+	}
+}
+
+// TestFinalLERModelShape: increases exceed 1, scale with program size,
+// and preserve Passive(1000) > Passive(500) > Active.
+func TestFinalLERModelShape(t *testing.T) {
+	m := DefaultFinalLERModel()
+	shor, _ := WorkloadByName("shor-15")
+	ising, _ := WorkloadByName("ising-98")
+	p1000 := m.Increase(shor, m.SyncPassive1000)
+	p500 := m.Increase(shor, m.SyncPassive500)
+	act := m.Increase(shor, m.SyncActive)
+	if !(p1000 > p500 && p500 > act && act >= 1) {
+		t.Fatalf("ordering broken: %v %v %v", p1000, p500, act)
+	}
+	if m.Increase(ising, m.SyncPassive1000) >= p1000 {
+		t.Fatal("the largest program must see the largest increase")
+	}
+	// The paper's headline: shor-15 suffers a ~23x increase with Passive
+	// at tau=1000ns; the default calibration reproduces the scale.
+	if p1000 < 5 || p1000 > 50 {
+		t.Fatalf("shor-15 Passive(1000) increase %v outside the paper's scale", p1000)
+	}
+}
+
+func TestConcurrencyBounds(t *testing.T) {
+	// Fig. 20's axis tops out at 50 concurrent CNOTs.
+	for _, w := range Workloads() {
+		if w.MaxConcurrentCNOTs < 1 || w.MaxConcurrentCNOTs > 50 {
+			t.Errorf("%s: concurrency %d outside (0,50]", w.Name, w.MaxConcurrentCNOTs)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package latticesim is a Go reproduction of "Synchronization for
+// Fault-Tolerant Quantum Computers" (Maurya & Tannu, ISCA 2025): a
+// stabilizer-circuit generator and sampler for surface code Lattice
+// Surgery, together with the paper's synchronization policies (Passive,
+// Active, Active-intra, Extra Rounds, Hybrid) and the control
+// microarchitecture that applies them at runtime.
+//
+// The package is a facade over the internal implementation:
+//
+//   - build lattice-surgery experiments with MergeSpec / MemorySpec,
+//   - resolve a synchronization policy into a concrete schedule with
+//     ComputePlan or SpecForPolicy,
+//   - estimate logical error rates with NewPipeline,
+//   - drive the runtime engine with NewEngine, and
+//   - regenerate every table and figure of the paper via Experiments.
+//
+// See the examples directory for runnable walkthroughs and DESIGN.md for
+// the system inventory.
+package latticesim
+
+import (
+	"io"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/core"
+	"latticesim/internal/decoder"
+	"latticesim/internal/dem"
+	"latticesim/internal/exp"
+	"latticesim/internal/hardware"
+	"latticesim/internal/microarch"
+	"latticesim/internal/surface"
+)
+
+// Synchronization policies (§4 of the paper).
+type Policy = core.Policy
+
+// Policy values.
+const (
+	Ideal       = core.Ideal
+	Passive     = core.Passive
+	Active      = core.Active
+	ActiveIntra = core.ActiveIntra
+	ExtraRounds = core.ExtraRounds
+	Hybrid      = core.Hybrid
+)
+
+// Core synchronization types.
+type (
+	// Params describes a two-patch synchronization problem.
+	Params = core.Params
+	// Plan is a resolved synchronization schedule.
+	Plan = core.Plan
+	// PatchState is a patch's runtime phase (cycle time + elapsed time).
+	PatchState = core.PatchState
+	// PairPlan is a pairwise synchronization directive.
+	PairPlan = core.PairPlan
+)
+
+// ComputePlan derives the synchronization plan for a policy.
+func ComputePlan(policy Policy, prm Params) Plan { return core.Compute(policy, prm) }
+
+// SelectPolicy applies the runtime policy choice of §5.
+func SelectPolicy(prm Params) Plan { return core.Select(prm) }
+
+// SolveExtraRounds solves Eq. 1 (n·T_P′ = m·T_P + τ).
+func SolveExtraRounds(tp, tpPrime, tau int64, maxM int) (m, n int, ok bool) {
+	return core.SolveExtraRounds(tp, tpPrime, tau, maxM)
+}
+
+// SolveHybrid solves Eq. 2 (residual slack below ε after z extra rounds).
+func SolveHybrid(tp, tpPrime, tau, eps int64, maxZ int) (z, n int, residualNs int64, ok bool) {
+	return core.SolveHybrid(tp, tpPrime, tau, eps, maxZ)
+}
+
+// SynchronizeK synchronizes k patches pairwise against the slowest (§4.3).
+func SynchronizeK(patches []PatchState, policy Policy, epsNs int64, maxZ int) []PairPlan {
+	return core.SynchronizeK(patches, policy, epsNs, maxZ)
+}
+
+// Hardware platform configurations (Table 3).
+type HardwareConfig = hardware.Config
+
+// Platform constructors.
+var (
+	IBM        = hardware.IBM
+	Google     = hardware.Google
+	QuEra      = hardware.QuEra
+	Sherbrooke = hardware.Sherbrooke
+)
+
+// Surface code experiment construction.
+type (
+	// Basis selects XX or ZZ lattice surgery.
+	Basis = surface.Basis
+	// MergeSpec configures a two-patch lattice surgery experiment.
+	MergeSpec = surface.MergeSpec
+	// MergeResult is the generated circuit plus metadata.
+	MergeResult = surface.MergeResult
+	// MemorySpec configures a single-patch memory experiment.
+	MemorySpec = surface.MemorySpec
+	// Circuit is the stabilizer-circuit IR (Stim-compatible text format).
+	Circuit = circuit.Circuit
+)
+
+// Basis values.
+const (
+	BasisZ = surface.BasisZ
+	BasisX = surface.BasisX
+)
+
+// Observable indices of merge experiments.
+const (
+	ObsJoint  = surface.ObsJoint
+	ObsSingle = surface.ObsSingle
+)
+
+// SpecForPolicy resolves a policy into a runnable merge experiment.
+func SpecForPolicy(d int, basis Basis, hw HardwareConfig, p float64, policy Policy,
+	tauNs, cyclePNs, cyclePPrimeNs float64, epsNs int64) (MergeSpec, Plan, bool) {
+	return exp.SpecForPolicy(d, basis, hw, p, policy, tauNs, cyclePNs, cyclePPrimeNs, epsNs)
+}
+
+// Decoding and sampling.
+type (
+	// Pipeline bundles sampler, detector error model and decoder.
+	Pipeline = exp.Pipeline
+	// LERResult reports logical error statistics.
+	LERResult = exp.LERResult
+	// DetectorErrorModel is the extracted error model.
+	DetectorErrorModel = dem.Model
+	// Decoder predicts observable flips from fired detectors.
+	Decoder = decoder.Decoder
+)
+
+// NewPipeline builds the sample→DEM→decode pipeline for a circuit.
+func NewPipeline(c *Circuit) (*Pipeline, error) { return exp.NewPipeline(c) }
+
+// ExtractDEM computes the detector error model of a circuit.
+func ExtractDEM(c *Circuit) *DetectorErrorModel { return dem.FromCircuit(c) }
+
+// Runtime synchronization engine (Fig. 12).
+type (
+	// Engine is the synchronization engine with its patch tables.
+	Engine = microarch.Engine
+	// Schedule is a synchronized schedule for the QEC controller.
+	Schedule = microarch.Schedule
+)
+
+// NewEngine creates a synchronization engine with the given patch
+// capacity.
+func NewEngine(capacity int) *Engine { return microarch.NewEngine(capacity) }
+
+// Experiments: regeneration of the paper's tables and figures.
+type (
+	// Experiment regenerates one table or figure.
+	Experiment = exp.Experiment
+	// Options scales experiments to available compute.
+	Options = exp.Options
+)
+
+// Experiments returns the full experiment registry in paper order.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment runs one experiment by ID (e.g. "fig14", "table2").
+func RunExperiment(id string, w io.Writer, o Options) error {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return errUnknownExperiment(id)
+	}
+	return e.Run(w, o)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "latticesim: unknown experiment " + string(e)
+}
