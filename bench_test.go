@@ -11,7 +11,9 @@ package latticesim
 // (frame sampling, decoding, DEM extraction, planning).
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"latticesim/internal/core"
@@ -144,6 +146,67 @@ func BenchmarkCircuitGeneration(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				buildMerge(b, d)
 			}
+		})
+	}
+}
+
+// BenchmarkPipelineRunWorkers measures the full sample→decode Monte
+// Carlo loop on the acceptance workload of EXPERIMENTS.md §6 — a
+// 40960-shot distance-7 memory experiment — sequential (workers=1)
+// against the full worker pool (workers=NumCPU). Shot-sharded execution
+// is bit-identical across worker counts, so the two sub-benchmarks do
+// the same work and their ns/op ratio is the parallel speedup.
+func BenchmarkPipelineRunWorkers(b *testing.B) {
+	const shots = 40960
+	res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := exp.NewPipeline(res.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		pl.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := pl.Run(shots, 1)
+				if r.Shots != shots {
+					b.Fatalf("shots %d", r.Shots)
+				}
+			}
+			b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}
+
+// BenchmarkFrameSamplingParallel measures sharded sampler throughput
+// with one private sampler per worker, the substrate primitive behind
+// BenchmarkPipelineRunWorkers (compare against BenchmarkFrameSampling
+// for the single-stream baseline).
+func BenchmarkFrameSamplingParallel(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		pl, err := exp.NewPipeline(res.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.Workers = runtime.NumCPU()
+		// One 4096-shot shard per worker, so the whole pool is busy.
+		shots := runtime.NumCPU() * 4096
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// RoundWeights is pure sampling (no decode): one
+				// CountDetectorFires pass per shard on the pool.
+				pl.RoundWeights(shots, 1)
+			}
+			b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
 		})
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	latticesim [-shots N] [-maxd D] [-seed S] <experiment>...
+//	latticesim [-shots N] [-maxd D] [-seed S] [-workers W] <experiment>...
 //	latticesim -list
 //	latticesim all
 //
@@ -26,6 +26,7 @@ func main() {
 	shots := flag.Int("shots", opts.Shots, "shots per simulated configuration (0 = default)")
 	maxD := flag.Int("maxd", opts.MaxD, "largest code distance in sweeps (0 = default)")
 	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+	workers := flag.Int("workers", opts.Workers, "Monte Carlo worker pool size (0 = GOMAXPROCS; results are worker-count independent)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 			args = append(args, e.ID)
 		}
 	}
-	o := exp.Options{Shots: *shots, MaxD: *maxD, Seed: *seed}
+	o := exp.Options{Shots: *shots, MaxD: *maxD, Seed: *seed, Workers: *workers}
 	for _, id := range args {
 		e, ok := exp.ByID(id)
 		if !ok {

@@ -1,0 +1,3 @@
+module latticesim
+
+go 1.24

@@ -79,11 +79,11 @@ func TestActiveBeatsPassive(t *testing.T) {
 		t.Skip("statistical test skipped in -short mode")
 	}
 	const shots = 60000
-	pass, _, err := runPolicy(5, surface.BasisX, hardware.Google(), paperP, core.Passive, 1000, 0, 0, 0, shots, 1)
+	pass, _, err := runPolicy(5, surface.BasisX, hardware.Google(), paperP, core.Passive, 1000, 0, 0, 0, shots, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	act, _, err := runPolicy(5, surface.BasisX, hardware.Google(), paperP, core.Active, 1000, 0, 0, 0, shots, 2)
+	act, _, err := runPolicy(5, surface.BasisX, hardware.Google(), paperP, core.Active, 1000, 0, 0, 0, shots, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,10 @@ type Options struct {
 	MaxD int
 	// Seed is the base RNG seed.
 	Seed uint64
+	// Workers is the Monte Carlo worker-pool size (default
+	// runtime.GOMAXPROCS(0)). Results are bit-identical for every value; see
+	// Pipeline.Workers.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -37,7 +41,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// OptionsFromEnv reads LATTICESIM_SHOTS and LATTICESIM_MAXD.
+// OptionsFromEnv reads LATTICESIM_SHOTS, LATTICESIM_MAXD and
+// LATTICESIM_WORKERS.
 func OptionsFromEnv() Options {
 	var o Options
 	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_SHOTS")); err == nil && v > 0 {
@@ -45,6 +50,9 @@ func OptionsFromEnv() Options {
 	}
 	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_MAXD")); err == nil && v >= 3 {
 		o.MaxD = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_WORKERS")); err == nil && v > 0 {
+		o.Workers = v
 	}
 	return o
 }
@@ -141,10 +149,11 @@ func SpecForPolicy(d int, basis surface.Basis, hw hardware.Config, p float64,
 }
 
 // runPolicy builds and runs one policy configuration, returning the
-// per-observable LERs.
+// per-observable LERs. The worker count is threaded from Options so the
+// CLI / env knobs reach every figure's inner Monte Carlo loop.
 func runPolicy(d int, basis surface.Basis, hw hardware.Config, p float64,
 	policy core.Policy, tauNs, cyclePNs, cyclePPrimeNs float64, epsNs int64,
-	shots int, seed uint64) (LERResult, bool, error) {
+	shots int, seed uint64, workers int) (LERResult, bool, error) {
 	spec, _, ok := SpecForPolicy(d, basis, hw, p, policy, tauNs, cyclePNs, cyclePPrimeNs, epsNs)
 	if !ok {
 		return LERResult{}, false, nil
@@ -157,6 +166,7 @@ func runPolicy(d int, basis surface.Basis, hw hardware.Config, p float64,
 	if err != nil {
 		return LERResult{}, false, err
 	}
+	pl.Workers = workers
 	return pl.Run(shots, seed), true, nil
 }
 

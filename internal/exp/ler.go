@@ -47,13 +47,29 @@ func (r LERResult) MeanHammingWeight() float64 {
 	return float64(r.DetectorFires) / float64(r.Shots)
 }
 
+// merge folds another shard tally into r. Addition of counts is
+// commutative, so the fold order cannot change the result.
+func (r *LERResult) merge(s LERResult) {
+	r.Shots += s.Shots
+	r.DetectorFires += s.DetectorFires
+	for o, e := range s.Errors {
+		r.Errors[o] += e
+	}
+}
+
 // Pipeline bundles the sampler, error model and decoder for one circuit.
 type Pipeline struct {
 	Circuit *circuit.Circuit
 	Model   *dem.Model
 	Graph   *decoder.Graph
-	sampler *frame.Sampler
-	dec     *decoder.UnionFind
+
+	// Workers is the Monte Carlo worker-pool size used by Run,
+	// RunWithDecoders, RoundWeights and RunProfile. Zero (the default)
+	// selects runtime.GOMAXPROCS(0). Results are bit-identical for every
+	// value: shots are sharded with per-shard RNG streams keyed on
+	// (seed, shard index), and shard tallies merge commutatively (see
+	// parallel.go and DESIGN.md §5).
+	Workers int
 }
 
 // NewPipeline builds the full decode pipeline for a circuit.
@@ -63,28 +79,46 @@ func NewPipeline(c *circuit.Circuit) (*Pipeline, error) {
 	if err := g.CheckMatchable(); err != nil {
 		return nil, fmt.Errorf("exp: decoder graph: %w", err)
 	}
-	return &Pipeline{
-		Circuit: c,
-		Model:   m,
-		Graph:   g,
-		sampler: frame.NewSampler(c),
-		dec:     decoder.NewUnionFind(g),
-	}, nil
+	return &Pipeline{Circuit: c, Model: m, Graph: g}, nil
 }
 
-// Run samples and decodes the requested number of shots.
-func (p *Pipeline) Run(shots int, seed uint64) LERResult {
+// lerState is the per-worker state of a decode run: a private sampler
+// and a private decoder, since neither is safe for concurrent use.
+type lerState struct {
+	sampler *frame.Sampler
+	dec     decoder.Decoder
+}
+
+// runLER shards the shot budget and decodes it on the worker pool, with
+// one decoder per worker supplied by newDec.
+func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
+	parts := runShards(shardPlan(shots), workers,
+		func() lerState {
+			return lerState{sampler: frame.NewSampler(p.Circuit), dec: newDec()}
+		},
+		func(st lerState, sh shard) LERResult {
+			return p.runShardLER(st, sh, seed)
+		})
+	total := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	for _, part := range parts {
+		total.merge(part)
+	}
+	return total
+}
+
+// runShardLER samples and decodes one shard with its own RNG stream.
+func (p *Pipeline) runShardLER(st lerState, sh shard, seed uint64) LERResult {
+	rng := stats.NewRand(shardSeed(seed, sh.index))
 	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
-	rng := stats.NewRand(seed)
-	for done := 0; done < shots; {
-		n := shots - done
+	for done := 0; done < sh.shots; {
+		n := sh.shots - done
 		if n > 64 {
 			n = 64
 		}
-		b := p.sampler.SampleBatch(rng, n)
+		b := st.sampler.SampleBatch(rng, n)
 		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
 			res.DetectorFires += len(defects)
-			pred := p.dec.Decode(defects)
+			pred := st.dec.Decode(defects)
 			miss := pred ^ obsMask
 			for miss != 0 {
 				o := bits.TrailingZeros64(miss)
@@ -96,33 +130,32 @@ func (p *Pipeline) Run(shots int, seed uint64) LERResult {
 		res.Shots += n
 	}
 	return res
+}
+
+// Run samples and decodes the requested number of shots with a fresh
+// union-find decoder per worker.
+func (p *Pipeline) Run(shots int, seed uint64) LERResult {
+	return p.runLER(shots, seed, p.Workers, func() decoder.Decoder {
+		return decoder.NewUnionFind(p.Graph)
+	})
 }
 
 // RunWithDecoder samples shots and decodes them with the supplied decoder
-// (used for LUT / hierarchical decoder studies).
+// (used for LUT / hierarchical decoder studies). Because a single decoder
+// instance cannot be shared between goroutines, this always runs on one
+// worker; it still uses the sharded RNG schedule, so its result is
+// bit-identical to RunWithDecoders with any worker count (for decoders
+// that are deterministic functions of the defect set).
 func (p *Pipeline) RunWithDecoder(dec decoder.Decoder, shots int, seed uint64) LERResult {
-	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
-	rng := stats.NewRand(seed)
-	for done := 0; done < shots; {
-		n := shots - done
-		if n > 64 {
-			n = 64
-		}
-		b := p.sampler.SampleBatch(rng, n)
-		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
-			res.DetectorFires += len(defects)
-			pred := dec.Decode(defects)
-			miss := pred ^ obsMask
-			for miss != 0 {
-				o := bits.TrailingZeros64(miss)
-				res.Errors[o]++
-				miss &^= 1 << uint(o)
-			}
-		})
-		done += n
-		res.Shots += n
-	}
-	return res
+	return p.runLER(shots, seed, 1, func() decoder.Decoder { return dec })
+}
+
+// RunWithDecoders is the parallel form of RunWithDecoder: newDec is
+// invoked once per worker, so stateful decoders get a private instance
+// each. Shared read-only structure (a built LUT, the decoder graph) may
+// be captured by the factory and reused across workers.
+func (p *Pipeline) RunWithDecoders(newDec func() decoder.Decoder, shots int, seed uint64) LERResult {
+	return p.runLER(shots, seed, p.Workers, newDec)
 }
 
 // RoundWeights samples shots and returns the mean syndrome Hamming weight
@@ -133,10 +166,17 @@ func (p *Pipeline) RoundWeights(shots int, seed uint64) map[int]float64 {
 	for i, d := range dets {
 		roundOf[i] = d.Round()
 	}
+	parts := runShards(shardPlan(shots), p.Workers,
+		func() *frame.Sampler { return frame.NewSampler(p.Circuit) },
+		func(s *frame.Sampler, sh shard) []int {
+			counts, _ := s.CountDetectorFires(stats.NewRand(shardSeed(seed, sh.index)), sh.shots)
+			return counts
+		})
 	counts := make(map[int]int)
-	detCounts, _ := p.sampler.CountDetectorFires(stats.NewRand(seed), shots)
-	for i, c := range detCounts {
-		counts[roundOf[i]] += c
+	for _, detCounts := range parts {
+		for i, c := range detCounts {
+			counts[roundOf[i]] += c
+		}
 	}
 	out := make(map[int]float64, len(counts))
 	for r, c := range counts {
@@ -154,26 +194,46 @@ type WeightBin struct {
 // RunProfile samples and decodes shots, binning logical failures of
 // observable obs by total syndrome Hamming weight (Fig. 7(a)).
 func (p *Pipeline) RunProfile(shots int, seed uint64, obs int) map[int]*WeightBin {
-	out := make(map[int]*WeightBin)
-	rng := stats.NewRand(seed)
 	obsBit := uint64(1) << uint(obs)
-	for done := 0; done < shots; done += 64 {
-		n := shots - done
-		if n > 64 {
-			n = 64
-		}
-		b := p.sampler.SampleBatch(rng, n)
-		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
-			bin := out[len(defects)]
+	parts := runShards(shardPlan(shots), p.Workers,
+		func() lerState {
+			return lerState{sampler: frame.NewSampler(p.Circuit), dec: decoder.NewUnionFind(p.Graph)}
+		},
+		func(st lerState, sh shard) map[int]*WeightBin {
+			bins := make(map[int]*WeightBin)
+			rng := stats.NewRand(shardSeed(seed, sh.index))
+			for done := 0; done < sh.shots; {
+				n := sh.shots - done
+				if n > 64 {
+					n = 64
+				}
+				b := st.sampler.SampleBatch(rng, n)
+				b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+					bin := bins[len(defects)]
+					if bin == nil {
+						bin = &WeightBin{}
+						bins[len(defects)] = bin
+					}
+					bin.Shots++
+					if (st.dec.Decode(defects)^obsMask)&obsBit != 0 {
+						bin.Errors++
+					}
+				})
+				done += n
+			}
+			return bins
+		})
+	out := make(map[int]*WeightBin)
+	for _, part := range parts {
+		for w, b := range part {
+			bin := out[w]
 			if bin == nil {
 				bin = &WeightBin{}
-				out[len(defects)] = bin
+				out[w] = bin
 			}
-			bin.Shots++
-			if (p.dec.Decode(defects)^obsMask)&obsBit != 0 {
-				bin.Errors++
-			}
-		})
+			bin.Shots += b.Shots
+			bin.Errors += b.Errors
+		}
 	}
 	return out
 }

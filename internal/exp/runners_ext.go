@@ -47,6 +47,7 @@ func ExtChain(w io.Writer, o Options) error {
 		if err != nil {
 			return LERResult{}, err
 		}
+		pl.Workers = o.Workers
 		return pl.Run(o.Shots, o.Seed), nil
 	}
 
@@ -107,19 +108,24 @@ func ExtAblation(w io.Writer, o Options) error {
 		return err
 	}
 
+	pl.Workers = o.Workers
+	// Each worker gets a private decoder instance from its row's factory;
+	// the built LUT and the decoder graph are shared read-only.
+	lut := decoder.BuildLUT(m, 3<<20, 8)
 	type row struct {
-		name string
-		dec  decoder.Decoder
+		name   string
+		newDec func() decoder.Decoder
 	}
-	ex := decoder.NewExact(g)
 	rows := []row{
-		{"union-find", decoder.NewUnionFind(g)},
-		{"exact<=14+greedy", ex},
-		{"lut-3MB+uf", &decoder.Hierarchical{LUT: decoder.BuildLUT(m, 3<<20, 8), Slow: decoder.NewUnionFind(g), Latency: decoder.DefaultLatencyModel(d)}},
+		{"union-find", func() decoder.Decoder { return decoder.NewUnionFind(g) }},
+		{"exact<=14+greedy", func() decoder.Decoder { return decoder.NewExact(g) }},
+		{"lut-3MB+uf", func() decoder.Decoder {
+			return &decoder.Hierarchical{LUT: lut, Slow: decoder.NewUnionFind(g), Latency: decoder.DefaultLatencyModel(d)}
+		}},
 	}
 	fmt.Fprintf(w, "%-18s %-14s %-14s\n", "decoder", "joint LER", "single LER")
 	for _, rw := range rows {
-		r := pl.RunWithDecoder(rw.dec, o.Shots, o.Seed)
+		r := pl.RunWithDecoders(rw.newDec, o.Shots, o.Seed)
 		fmt.Fprintf(w, "%-18s %-14.5f %-14.5f\n", rw.name, r.Rate(0), r.Rate(1))
 	}
 	fmt.Fprintf(w, "graph: %d detectors, %d edges, %d oversized parts, %d obs conflicts\n",

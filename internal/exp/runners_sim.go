@@ -37,11 +37,11 @@ func Fig1d(w io.Writer, o Options) error {
 	header(w, "Fig 1(d): normalized T count (Passive = 1.0)")
 	d := o.MaxD
 	hw := hardware.Google()
-	pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, 1000, 0, 0, 0, o.Shots, o.Seed)
+	pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, 1000, 0, 0, 0, o.Shots, o.Seed, o.Workers)
 	if err != nil {
 		return err
 	}
-	act, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Active, 1000, 0, 0, 0, o.Shots, o.Seed+1)
+	act, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Active, 1000, 0, 0, 0, o.Shots, o.Seed+1, o.Workers)
 	if err != nil {
 		return err
 	}
@@ -66,6 +66,7 @@ func Fig7a(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
+	pl.Workers = o.Workers
 	bins := pl.RunProfile(o.Shots, o.Seed, surface.ObsJoint)
 	weights := make([]int, 0, len(bins))
 	for k := range bins {
@@ -117,6 +118,7 @@ func Fig7b(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
+		pl.Workers = o.Workers
 		rows[pol.String()] = pl.RoundWeights(o.Shots, o.Seed)
 		mergeRound = res.MergeRound
 	}
@@ -146,11 +148,11 @@ func Fig14(w io.Writer, o Options) error {
 			fmt.Fprintf(w, "  %-4s %-6s %-22s %-22s\n", "d", "tau", "reduction "+pn.labels[0], "reduction "+pn.labels[1])
 			for _, d := range distances(o.MaxD) {
 				for _, tau := range []float64{500, 1000} {
-					pass, _, err := runPolicy(d, pn.basis, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed)
+					pass, _, err := runPolicy(d, pn.basis, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
 					if err != nil {
 						return err
 					}
-					act, _, err := runPolicy(d, pn.basis, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+7)
+					act, _, err := runPolicy(d, pn.basis, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+7, o.Workers)
 					if err != nil {
 						return err
 					}
@@ -174,7 +176,7 @@ func Fig15(w io.Writer, o Options) error {
 	for _, d := range distances(o.MaxD) {
 		var rates [3][2]float64
 		for i, pol := range []core.Policy{core.Ideal, core.Active, core.Passive} {
-			r, _, err := runPolicy(d, surface.BasisX, hardware.IBM(), paperP, pol, 1000, 0, 0, 0, o.Shots, o.Seed+uint64(i))
+			r, _, err := runPolicy(d, surface.BasisX, hardware.IBM(), paperP, pol, 1000, 0, 0, 0, o.Shots, o.Seed+uint64(i), o.Workers)
 			if err != nil {
 				return err
 			}
@@ -198,11 +200,11 @@ func Fig17(w io.Writer, o Options) error {
 		for _, d := range distances(o.MaxD) {
 			var vals []float64
 			for _, tau := range []float64{500, 1000} {
-				pass, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed)
+				pass, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
 				if err != nil {
 					return err
 				}
-				intra, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.ActiveIntra, tau, 0, 0, 0, o.Shots, o.Seed+3)
+				intra, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.ActiveIntra, tau, 0, 0, 0, o.Shots, o.Seed+3, o.Workers)
 				if err != nil {
 					return err
 				}
@@ -237,6 +239,7 @@ func Fig18a(w io.Writer, o Options) error {
 				if err != nil {
 					return LERResult{}, err
 				}
+				pl.Workers = o.Workers
 				return pl.Run(o.Shots, o.Seed+uint64(R)), nil
 			}
 			pass, err := mk(core.Passive)
@@ -275,6 +278,7 @@ func Fig18b(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
+		pl.Workers = o.Workers
 		r := pl.Run(o.Shots, o.Seed+uint64(R))
 		fmt.Fprintf(w, "%-4d %-14.4g %-14.4g\n", R, r.Rate(0), r.Rate(1))
 	}
@@ -308,11 +312,11 @@ func Fig19(w io.Writer, o Options) error {
 		for _, tau := range []float64{500, 1000} {
 			num, den, used := 0.0, 0.0, 0
 			for i, tpPrime := range []float64{1050, 1100, 1150} {
-				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i))
+				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i), o.Workers)
 				if err != nil {
 					return err
 				}
-				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, tau, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(10+i))
+				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, tau, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(10+i), o.Workers)
 				if err != nil {
 					return err
 				}
@@ -349,7 +353,7 @@ func Fig21(w io.Writer, o Options) error {
 	for _, tauMs := range []float64{0.2, 0.6, 1.0, 1.6, 2.0} {
 		tau := tauMs * ms
 		row := []string{}
-		pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 2.0*ms, 2.2*ms, 0, o.Shots, o.Seed)
+		pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 2.0*ms, 2.2*ms, 0, o.Shots, o.Seed, o.Workers)
 		if err != nil {
 			return err
 		}
@@ -358,7 +362,7 @@ func Fig21(w io.Writer, o Options) error {
 			policy core.Policy
 			eps    int64
 		}{{core.Active, 0}, {core.Hybrid, int64(0.1 * ms)}, {core.Hybrid, int64(0.4 * ms)}} {
-			pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, tau, 2.0*ms, 2.2*ms, pc.eps, o.Shots, o.Seed+99)
+			pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, tau, 2.0*ms, 2.2*ms, pc.eps, o.Shots, o.Seed+99, o.Workers)
 			if err != nil {
 				return err
 			}
@@ -456,11 +460,11 @@ func Table1(w io.Writer, o Options) error {
 		fmt.Fprintf(w, "slack = %.0fns\n", tau)
 		fmt.Fprintf(w, "  %-4s %-10s %-10s %-12s\n", "d", "Passive", "Active", "% reduction")
 		for _, d := range distances(o.MaxD) {
-			pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed)
+			pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
 			if err != nil {
 				return err
 			}
-			act, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+5)
+			act, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+5, o.Workers)
 			if err != nil {
 				return err
 			}
@@ -505,6 +509,7 @@ func Table2(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
+		pl.Workers = o.Workers
 		r := pl.Run(o.Shots, o.Seed)
 		fmt.Fprintf(w, "%-14s %-12.0f %-12d %-14.4g\n",
 			rw.name, plan.TotalIdleNs(), plan.ExtraRoundsP, (r.Rate(0)+r.Rate(1))/2)
@@ -527,11 +532,11 @@ func Table4(w io.Writer, o Options) error {
 		}{{core.Active, 0}, {core.ExtraRounds, 0}, {core.Hybrid, 400}} {
 			num, den, used := 0.0, 0.0, 0
 			for i, tpPrime := range []float64{1050, 1100, 1150} {
-				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, 1000, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i))
+				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, 1000, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i), o.Workers)
 				if err != nil {
 					return err
 				}
-				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, 1000, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(20+i))
+				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, 1000, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(20+i), o.Workers)
 				if err != nil {
 					return err
 				}

@@ -122,7 +122,10 @@ func SpecForPolicy(d int, basis Basis, hw HardwareConfig, p float64, policy Poli
 
 // Decoding and sampling.
 type (
-	// Pipeline bundles sampler, detector error model and decoder.
+	// Pipeline bundles sampler, detector error model and decoder. Its
+	// Monte Carlo entry points shard shots across Pipeline.Workers
+	// goroutines (default: all CPUs) with bit-identical results for any
+	// worker count; see DESIGN.md §5.
 	Pipeline = exp.Pipeline
 	// LERResult reports logical error statistics.
 	LERResult = exp.LERResult
