@@ -151,7 +151,7 @@ func BenchmarkCircuitGeneration(b *testing.B) {
 }
 
 // BenchmarkPipelineRunWorkers measures the full sample→decode Monte
-// Carlo loop on the acceptance workload of EXPERIMENTS.md §6 — a
+// Carlo loop on the acceptance workload of EXPERIMENTS.md §9 — a
 // 40960-shot distance-7 memory experiment — sequential (workers=1)
 // against the full worker pool (workers=NumCPU). Shot-sharded execution
 // is bit-identical across worker counts, so the two sub-benchmarks do

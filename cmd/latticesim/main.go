@@ -1,15 +1,22 @@
 // Command latticesim regenerates the tables and figures of
-// "Synchronization for Fault-Tolerant Quantum Computers" (ISCA 2025).
+// "Synchronization for Fault-Tolerant Quantum Computers" (ISCA 2025) and
+// runs declarative parameter-sweep campaigns.
 //
 // Usage:
 //
 //	latticesim [-shots N] [-maxd D] [-seed S] [-workers W] <experiment>...
 //	latticesim -list
 //	latticesim all
+//	latticesim sweep [sweep flags] -out DIR
 //
 // Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
 // code distance default to laptop-scale values; the paper's settings are
 // -shots 100000000 -maxd 15 (128 cores for days).
+//
+// The sweep subcommand expands a policies × distances × slacks × error
+// rates × bases grid, caches build artifacts across points, and streams
+// machine-readable results (JSONL + CSV) with a resumable manifest; see
+// EXPERIMENTS.md for the workflow and the record schema.
 package main
 
 import (
@@ -22,10 +29,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := exp.OptionsFromEnv()
 	shots := flag.Int("shots", opts.Shots, "shots per simulated configuration (0 = default)")
 	maxD := flag.Int("maxd", opts.MaxD, "largest code distance in sweeps (0 = default)")
-	seed := flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+	seed := flag.Uint64("seed", opts.Seed, "base RNG seed (0 = default)")
 	workers := flag.Int("workers", opts.Workers, "Monte Carlo worker pool size (0 = GOMAXPROCS; results are worker-count independent)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -39,6 +54,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: latticesim [-flags] <experiment>...  (see -list)")
+		fmt.Fprintln(os.Stderr, "       latticesim sweep -help")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"latticesim/internal/core"
+	"latticesim/internal/exp"
+	"latticesim/internal/hardware"
+	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
+)
+
+// runSweep implements the `latticesim sweep` subcommand: parse the grid,
+// open (or resume) the output directory, and stream records.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `usage: latticesim sweep [flags] -out DIR
+
+Expands a policy grid, runs every point through the cached build pipeline,
+and streams results to DIR/results.jsonl, DIR/results.csv and DIR/manifest.
+Rerunning with the same flags resumes an interrupted campaign: points in
+the manifest are skipped. See EXPERIMENTS.md for the record schema.
+
+Flags:`)
+		fs.PrintDefaults()
+	}
+	var (
+		hwName   = fs.String("hw", "IBM", "hardware profile (IBM, Google, QuEra, IBM-Sherbrooke)")
+		scale    = fs.Float64("scale", 0, "scale the profile so its cycle equals this many ns (0 = native; the paper's §7.3 grids use -scale 1000)")
+		policies = fs.String("policies", "Passive,Active", "comma-separated policies (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)")
+		ds       = fs.String("d", "3", "comma-separated odd code distances")
+		taus     = fs.String("tau", "1000", "comma-separated synchronization slacks in ns")
+		ps       = fs.String("p", "1e-3", "comma-separated physical error rates")
+		bases    = fs.String("basis", "X", "comma-separated merge bases (X, Z)")
+		cycleP   = fs.Float64("cyclep", 0, "patch P cycle time in ns (0 = hardware base cycle)")
+		cyclePPs = fs.String("cyclepp", "0", "comma-separated patch P' cycle times in ns (0 = hardware base cycle)")
+		env      = exp.OptionsFromEnv()
+		eps      = fs.Int64("eps", 0, "Hybrid residual-slack tolerance in ns")
+		shots    = fs.Int("shots", env.Shots, "shots per point (0 = 40000; LATTICESIM_SHOTS sets the default)")
+		seed     = fs.Uint64("seed", env.Seed, "campaign seed; point seeds derive from it (0 = default; LATTICESIM_SEED sets the default)")
+		workers  = fs.Int("workers", env.Workers, "Monte Carlo worker pool size per point (0 = GOMAXPROCS; LATTICESIM_WORKERS sets the default)")
+		maxPts   = fs.Int("max-points", 0, "stop after this many executed points (0 = whole grid); rerun to resume")
+		out      = fs.String("out", "", "output directory (required)")
+		quiet    = fs.Bool("quiet", false, "suppress per-point progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-out is required")
+	}
+
+	grid, err := buildGrid(*hwName, *scale, *policies, *ds, *taus, *ps, *bases, *cycleP, *cyclePPs, *eps)
+	if err != nil {
+		return err
+	}
+	pts, err := grid.Points()
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	// Resolve defaults once so the manifest header pins exactly what the
+	// campaign will execute.
+	cfg := sweep.Config{Shots: *shots, Seed: *seed, Workers: *workers, MaxPoints: *maxPts}.WithDefaults()
+	manifest, err := sweep.OpenManifest(filepath.Join(*out, "manifest"), cfg.Seed, cfg.Shots, pts)
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+
+	jsonlPath := filepath.Join(*out, "results.jsonl")
+	csvPath := filepath.Join(*out, "results.csv")
+	jsonlFile, err := os.OpenFile(jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer jsonlFile.Close()
+	csvFile, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	csvInfo, err := csvFile.Stat()
+	if err != nil {
+		return err
+	}
+	csvw := sweep.NewCSVWriter(csvFile)
+	if csvInfo.Size() == 0 {
+		if err := csvw.WriteHeader(); err != nil {
+			return err
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("sweep: %d points (%d already done), %d shots each, seed %#x -> %s\n",
+			len(pts), manifest.NumDone(), cfg.Shots, cfg.Seed, *out)
+	}
+	if !*quiet {
+		cfg.Progress = func(pos, total int, r sweep.Record) {
+			status := fmt.Sprintf("joint=%.4g single=%.4g", r.JointRate, r.SingleRate)
+			if !r.Feasible {
+				status = "infeasible"
+			}
+			fmt.Printf("  [%d/%d] %s: %s (%.0fms)\n", pos, total, r.Key, status, r.WallMs)
+		}
+	}
+
+	start := time.Now()
+	camp := &sweep.Campaign{
+		Grid:     grid,
+		Config:   cfg,
+		Manifest: manifest,
+		Sinks:    []sweep.Sink{&sweep.JSONLWriter{W: jsonlFile}, csvw},
+	}
+	sum, err := camp.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d/%d points executed (%d skipped via manifest, %d infeasible), "+
+		"cache %d hits / %d builds, %v\n",
+		sum.Executed, sum.Points, sum.Skipped, sum.Infeasible,
+		sum.CacheHits, sum.CacheMisses, time.Since(start).Round(time.Millisecond))
+	if sum.Interrupted {
+		fmt.Println("sweep: stopped at -max-points; rerun the same command to resume")
+	}
+	return nil
+}
+
+// buildGrid assembles the sweep grid from the flag strings.
+func buildGrid(hwName string, scale float64, policies, ds, taus, ps, bases string, cycleP float64, cyclePPs string, eps int64) (sweep.Grid, error) {
+	var g sweep.Grid
+	hw, ok := hardware.ByName(hwName)
+	if !ok {
+		return g, fmt.Errorf("unknown hardware profile %q (IBM, Google, QuEra, IBM-Sherbrooke)", hwName)
+	}
+	if scale > 0 {
+		hw = hw.Scaled(scale)
+	}
+	g.HW = hw
+	g.CyclePNs = cycleP
+	g.EpsNs = eps
+	for _, s := range splitList(policies) {
+		pol, ok := core.ParsePolicy(s)
+		if !ok {
+			return g, fmt.Errorf("unknown policy %q (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)", s)
+		}
+		g.Policies = append(g.Policies, pol)
+	}
+	var err error
+	if g.Distances, err = parseInts(ds); err != nil {
+		return g, fmt.Errorf("-d: %w", err)
+	}
+	if g.SlackNs, err = parseFloats(taus); err != nil {
+		return g, fmt.Errorf("-tau: %w", err)
+	}
+	if g.ErrorRates, err = parseFloats(ps); err != nil {
+		return g, fmt.Errorf("-p: %w", err)
+	}
+	if g.CyclePPrimeNs, err = parseFloats(cyclePPs); err != nil {
+		return g, fmt.Errorf("-cyclepp: %w", err)
+	}
+	for _, s := range splitList(bases) {
+		switch s {
+		case "X", "XX":
+			g.Bases = append(g.Bases, surface.BasisX)
+		case "Z", "ZZ":
+			g.Bases = append(g.Bases, surface.BasisZ)
+		default:
+			return g, fmt.Errorf("unknown basis %q (X or Z)", s)
+		}
+	}
+	return g, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

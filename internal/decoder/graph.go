@@ -9,9 +9,21 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"latticesim/internal/dem"
 )
+
+// graphBuilds counts BuildGraph invocations. Graph construction is one of
+// the expensive per-spec build steps the sweep engine's artifact cache
+// deduplicates; the counter lets cache tests assert that each unique spec
+// builds its graph exactly once.
+var graphBuilds atomic.Uint64
+
+// GraphBuilds returns the number of BuildGraph calls made by this
+// process. The difference across a workload measures how many graph
+// constructions it actually performed.
+func GraphBuilds() uint64 { return graphBuilds.Load() }
 
 // Decoder predicts the logical-observable flip mask for a set of fired
 // detectors.
@@ -61,6 +73,7 @@ func (g *Graph) IsBoundary(n int32) bool { return int(n) >= g.NumDetectors }
 // to the component whose check type protects that observable, determined
 // by majority vote over single-component errors.
 func BuildGraph(m *dem.Model) *Graph {
+	graphBuilds.Add(1)
 	g := &Graph{NumDetectors: m.NumDetectors, NumNodes: m.NumDetectors}
 
 	isX := make([]bool, m.NumDetectors)

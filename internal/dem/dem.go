@@ -15,9 +15,21 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"latticesim/internal/circuit"
 )
+
+// buildCount counts FromCircuit invocations. Extraction is one of the
+// expensive per-spec build steps the sweep engine's artifact cache
+// deduplicates; the counter lets cache tests assert that each unique spec
+// is extracted exactly once.
+var buildCount atomic.Uint64
+
+// BuildCount returns the number of FromCircuit calls made by this
+// process. The difference across a workload measures how many model
+// extractions it actually performed.
+func BuildCount() uint64 { return buildCount.Load() }
 
 // Error is one elementary error mechanism.
 type Error struct {
@@ -78,6 +90,7 @@ func xorSens(a, b sensitivity) sensitivity {
 
 // FromCircuit extracts the detector error model of c.
 func FromCircuit(c *circuit.Circuit) *Model {
+	buildCount.Add(1)
 	m := &Model{
 		NumDetectors:   c.NumDetectors(),
 		NumObservables: c.NumObservables(),

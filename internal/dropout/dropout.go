@@ -5,6 +5,13 @@
 // A system of many patches with independent defects therefore develops a
 // spread of logical clock frequencies — exactly the input the k-patch
 // synchronization engine has to handle.
+//
+// NewModel calibrates the defect process for a platform and distance,
+// Model.Sample draws patch fabrication outcomes, States converts them to
+// the core.PatchState inputs of the synchronization engine, and Analyze
+// summarizes the resulting clock spread (the ext-dropout runner in
+// internal/exp prints that summary). See DESIGN.md §2 for where the
+// package sits in the architecture.
 package dropout
 
 import (

@@ -1,3 +1,7 @@
+// Package exp contains the experiment harness: one runner per table and
+// figure of the paper's evaluation (§7), built on the Monte Carlo
+// execution layer of internal/mc and, for the parameter-sweep figures,
+// expressed as thin presets over internal/sweep campaign grids.
 package exp
 
 import (
@@ -10,6 +14,7 @@ import (
 	"latticesim/internal/core"
 	"latticesim/internal/hardware"
 	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
 )
 
 // Options scales experiments to the available compute. The paper used
@@ -41,8 +46,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// OptionsFromEnv reads LATTICESIM_SHOTS, LATTICESIM_MAXD and
-// LATTICESIM_WORKERS.
+// OptionsFromEnv reads LATTICESIM_SHOTS, LATTICESIM_MAXD,
+// LATTICESIM_SEED and LATTICESIM_WORKERS.
 func OptionsFromEnv() Options {
 	var o Options
 	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_SHOTS")); err == nil && v > 0 {
@@ -51,22 +56,35 @@ func OptionsFromEnv() Options {
 	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_MAXD")); err == nil && v >= 3 {
 		o.MaxD = v
 	}
+	if v, err := strconv.ParseUint(os.Getenv("LATTICESIM_SEED"), 0, 64); err == nil && v > 0 {
+		o.Seed = v
+	}
 	if v, err := strconv.Atoi(os.Getenv("LATTICESIM_WORKERS")); err == nil && v > 0 {
 		o.Workers = v
 	}
 	return o
 }
 
-// Experiment regenerates one table or figure of the paper.
+// Experiment regenerates one table or figure of the paper. Run receives
+// Options normalized exactly once, at registration (see All), so every
+// runner observes the same resolved env/flag values.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer, o Options) error
 }
 
+// withDefaultedOptions normalizes Options at the registry boundary. This
+// is the single place defaults are derived: runners themselves never call
+// withDefaults, so an env or flag override cannot silently diverge
+// between them.
+func withDefaultedOptions(run func(io.Writer, Options) error) func(io.Writer, Options) error {
+	return func(w io.Writer, o Options) error { return run(w, o.withDefaults()) }
+}
+
 // All returns the experiment registry in paper order.
 func All() []Experiment {
-	return []Experiment{
+	list := []Experiment{
 		{"fig1c", "Repetition code LER vs idling period (IBM Sherbrooke)", Fig1c},
 		{"fig1d", "Normalized T count enabled by Active synchronization", Fig1d},
 		{"fig3c", "Synchronizations per cycle lower bound (Azure QRE workloads)", Fig3c},
@@ -95,6 +113,10 @@ func All() []Experiment {
 		{"ext-dropout", "Extension: defect-induced logical clock spread", ExtDropout},
 		{"ext-ablation", "Extension: decoder design-choice ablation", ExtAblation},
 	}
+	for i := range list {
+		list[i].Run = withDefaultedOptions(list[i].Run)
+	}
+	return list
 }
 
 // ByID finds an experiment.
@@ -120,32 +142,11 @@ func distances(maxD int) []int {
 // experiment: extra rounds and idle insertion per the computed plan.
 // cycleP/cyclePPrime of 0 select the hardware base cycle. Infeasible
 // plans return ok=false.
+// The implementation lives in internal/sweep, which the campaign engine
+// and the per-figure runners share.
 func SpecForPolicy(d int, basis surface.Basis, hw hardware.Config, p float64,
 	policy core.Policy, tauNs float64, cyclePNs, cyclePPrimeNs float64, epsNs int64) (surface.MergeSpec, core.Plan, bool) {
-	if cyclePNs == 0 {
-		cyclePNs = hw.CycleNs()
-	}
-	if cyclePPrimeNs == 0 {
-		cyclePPrimeNs = hw.CycleNs()
-	}
-	plan := core.Compute(policy, core.Params{
-		TPNs:      int64(cyclePNs),
-		TPPrimeNs: int64(cyclePPrimeNs),
-		TauNs:     int64(tauNs),
-		EpsNs:     epsNs,
-		MaxZ:      5,
-	})
-	spec := surface.MergeSpec{
-		D: d, Basis: basis, HW: hw, P: p,
-		CyclePNs:      cyclePNs,
-		CyclePPrimeNs: cyclePPrimeNs,
-		RoundsP:       d + 1 + plan.ExtraRoundsP,
-		RoundsPPrime:  d + 1 + plan.ExtraRoundsPPrime,
-		LumpedIdleNs:  plan.LumpedIdleNs,
-		SpreadIdleNs:  plan.SpreadIdleNs,
-		IntraIdleNs:   plan.IntraIdleNs,
-	}
-	return spec, plan, plan.Feasible
+	return sweep.SpecForPolicy(d, basis, hw, p, policy, tauNs, cyclePNs, cyclePPrimeNs, epsNs)
 }
 
 // runPolicy builds and runs one policy configuration, returning the

@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"latticesim/internal/circuit"
+	"latticesim/internal/mc"
+)
+
+// The Monte Carlo execution layer lives in internal/mc so that both the
+// per-figure runners here and the sweep-campaign engine in internal/sweep
+// can share it; these aliases preserve the package's historical surface
+// (exp.Pipeline et al.), which the public facade re-exports.
+type (
+	// Pipeline bundles the sampler, error model and decoder for one
+	// circuit; see mc.Pipeline.
+	Pipeline = mc.Pipeline
+	// LERResult reports per-observable logical error statistics.
+	LERResult = mc.LERResult
+	// WeightBin aggregates shots by syndrome Hamming weight.
+	WeightBin = mc.WeightBin
+)
+
+// NewPipeline builds the full decode pipeline for a circuit.
+func NewPipeline(c *circuit.Circuit) (*Pipeline, error) { return mc.NewPipeline(c) }

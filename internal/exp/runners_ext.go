@@ -22,7 +22,6 @@ import (
 // all patches desynchronized, slack absorbed per policy on every leading
 // patch simultaneously (§4.3's claim that pairwise plans compose).
 func ExtChain(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	if d > 5 {
 		d = 5 // chains triple the qubit count; keep the default tractable
@@ -69,7 +68,6 @@ func ExtChain(w io.Writer, o Options) error {
 // ExtDropout surveys how fabrication defects desynchronize a many-patch
 // system and how often the Hybrid policy has a solution.
 func ExtDropout(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "ext-dropout: defect-induced logical clock spread (LUCI-style adaptation)")
 	hw := hardware.IBM()
 	fmt.Fprintf(w, "%-12s %-12s %-14s %-12s %-12s %-12s %-14s\n",
@@ -90,7 +88,6 @@ func ExtDropout(w io.Writer, o Options) error {
 // workload: union-find vs exact matching vs lookup table, plus the
 // union-find weighted-growth resolution.
 func ExtAblation(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	if d > 5 {
 		d = 5

@@ -19,7 +19,6 @@ import (
 // Fig1c regenerates the repetition-code idling experiment: LER for
 // |0⟩_L and |1⟩_L as the idle before the final syndrome round grows.
 func Fig1c(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 1(c): 3-qubit repetition code on IBM-Sherbrooke-like qubits")
 	idles := []float64{0, 100, 200, 300, 400, 500, 600, 700, 800}
 	zero, one := repcode.Sweep(idles, o.Shots, o.Seed)
@@ -43,7 +42,6 @@ func Fig3c(w io.Writer, o Options) error {
 
 // Fig4a regenerates the cultivation slack distributions.
 func Fig4a(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 4(a): magic state cultivation slack (100k shots per config)")
 	fmt.Fprintf(w, "%-10s %-10s %-12s %-12s %-12s %-12s\n", "platform", "p", "median(ns)", "mean(ns)", "p10(ns)", "p90(ns)")
 	shots := 100000
@@ -76,7 +74,6 @@ func Fig4b(w io.Writer, o Options) error {
 
 // Fig6 regenerates the Brisbane idling fidelity experiment.
 func Fig6(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 6(c): mean fidelity across 20 qubits, Passive vs Active idles")
 	p := ddmodel.Brisbane()
 	tps := []float64{0.8, 1.6, 2.4, 3.2, 4.0, 5.6}
@@ -154,7 +151,6 @@ func Fig16(w io.Writer, o Options) error {
 // Fig20 regenerates the concurrency table and the k-patch planning-time
 // measurement on the synchronization engine.
 func Fig20(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 20: max concurrent CNOTs per workload; k-patch sync planning time")
 	fmt.Fprintf(w, "%-15s %-22s\n", "workload", "max concurrent CNOTs")
 	for _, wl := range resource.Workloads() {

@@ -11,6 +11,7 @@ import (
 	"latticesim/internal/hardware"
 	"latticesim/internal/stats"
 	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
 )
 
 // paperP is the circuit-level noise strength used throughout §7.
@@ -33,7 +34,6 @@ var panels = []panel{
 // 1/LER times more T gates, so the Active policy's T budget scales by the
 // LER reduction.
 func Fig1d(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 1(d): normalized T count (Passive = 1.0)")
 	d := o.MaxD
 	hw := hardware.Google()
@@ -54,7 +54,6 @@ func Fig1d(w io.Writer, o Options) error {
 
 // Fig7a prints LER vs syndrome Hamming weight.
 func Fig7a(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	header(w, fmt.Sprintf("Fig 7(a): LER vs syndrome Hamming weight (d=%d, p=1e-3; paper d=15)", d))
 	spec := surface.MergeSpec{D: d, Basis: surface.BasisX, HW: hardware.IBM(), P: paperP}
@@ -102,7 +101,6 @@ func Fig7a(w io.Writer, o Options) error {
 
 // Fig7b prints per-round syndrome Hamming weights for Passive vs Active.
 func Fig7b(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	tau := 500.0
 	header(w, fmt.Sprintf("Fig 7(b): per-round syndrome weight, tau=500ns (d=%d; paper d=15)", d))
@@ -137,28 +135,35 @@ func Fig7b(w io.Writer, o Options) error {
 }
 
 // Fig14 prints the Active-vs-Passive LER reductions across distances,
-// platforms, bases and slacks.
+// platforms, bases and slacks. It is a thin preset over one sweep grid
+// per platform.
 func Fig14(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 14: LER reduction Passive/Active (>1 favors Active)")
+	taus := []float64{500, 1000}
 	for _, hw := range []hardware.Config{hardware.IBM(), hardware.Google()} {
+		recs, err := collectGrid(sweep.Grid{
+			HW:         hw,
+			Policies:   []core.Policy{core.Passive, core.Active},
+			Distances:  distances(o.MaxD),
+			SlackNs:    taus,
+			ErrorRates: []float64{paperP},
+			Bases:      []surface.Basis{surface.BasisX, surface.BasisZ},
+		}, o)
+		if err != nil {
+			return err
+		}
+		base := hw.CycleNs()
 		for _, pn := range panels {
 			fmt.Fprintf(w, "%s, %s lattice surgery (observables %s, %s)\n",
 				hw.Name, pn.basis, pn.labels[0], pn.labels[1])
 			fmt.Fprintf(w, "  %-4s %-6s %-22s %-22s\n", "d", "tau", "reduction "+pn.labels[0], "reduction "+pn.labels[1])
 			for _, d := range distances(o.MaxD) {
-				for _, tau := range []float64{500, 1000} {
-					pass, _, err := runPolicy(d, pn.basis, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
-					if err != nil {
-						return err
-					}
-					act, _, err := runPolicy(d, pn.basis, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+7, o.Workers)
-					if err != nil {
-						return err
-					}
+				for _, tau := range taus {
+					pass := recs[pointID{core.Passive, d, tau, pn.basis, base}]
+					act := recs[pointID{core.Active, d, tau, pn.basis, base}]
 					fmt.Fprintf(w, "  %-4d %-6.0f %-22.3f %-22.3f\n", d, tau,
-						ratio(pass.Rate(surface.ObsJoint), act.Rate(surface.ObsJoint)),
-						ratio(pass.Rate(surface.ObsSingle), act.Rate(surface.ObsSingle)))
+						ratio(pass.JointRate, act.JointRate),
+						ratio(pass.SingleRate, act.SingleRate))
 				}
 			}
 		}
@@ -167,21 +172,30 @@ func Fig14(w io.Writer, o Options) error {
 	return nil
 }
 
-// Fig15 prints absolute LERs for Ideal / Active / Passive.
+// Fig15 prints absolute LERs for Ideal / Active / Passive, as a preset
+// over one sweep grid.
 func Fig15(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 15: LER of XPXP' and XP for Ideal/Active/Passive (IBM, tau=1000ns)")
+	hw := hardware.IBM()
+	policies := []core.Policy{core.Ideal, core.Active, core.Passive}
+	recs, err := collectGrid(sweep.Grid{
+		HW:         hw,
+		Policies:   policies,
+		Distances:  distances(o.MaxD),
+		SlackNs:    []float64{1000},
+		ErrorRates: []float64{paperP},
+	}, o)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-4s %-12s %-12s %-12s %-12s %-12s %-12s\n",
 		"d", "ideal-joint", "act-joint", "pass-joint", "ideal-XP", "act-XP", "pass-XP")
 	for _, d := range distances(o.MaxD) {
 		var rates [3][2]float64
-		for i, pol := range []core.Policy{core.Ideal, core.Active, core.Passive} {
-			r, _, err := runPolicy(d, surface.BasisX, hardware.IBM(), paperP, pol, 1000, 0, 0, 0, o.Shots, o.Seed+uint64(i), o.Workers)
-			if err != nil {
-				return err
-			}
-			rates[i][0] = r.Rate(surface.ObsJoint)
-			rates[i][1] = r.Rate(surface.ObsSingle)
+		for i, pol := range policies {
+			r := recs[pointID{pol, d, 1000, surface.BasisX, hw.CycleNs()}]
+			rates[i][0] = r.JointRate
+			rates[i][1] = r.SingleRate
 		}
 		fmt.Fprintf(w, "%-4d %-12.3g %-12.3g %-12.3g %-12.3g %-12.3g %-12.3g\n", d,
 			rates[0][0], rates[1][0], rates[2][0], rates[0][1], rates[1][1], rates[2][1])
@@ -190,25 +204,33 @@ func Fig15(w io.Writer, o Options) error {
 	return nil
 }
 
-// Fig17 prints the Active-intra reductions (can fall below 1).
+// Fig17 prints the Active-intra reductions (can fall below 1), as a
+// preset over one sweep grid. The Passive baselines are the same specs
+// Fig. 14 sweeps, so with the shared cache their artifacts are reused.
 func Fig17(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 17: reduction Passive/Active-intra (values < 1 mean Active-intra hurts)")
+	hw := hardware.IBM()
+	taus := []float64{500, 1000}
+	recs, err := collectGrid(sweep.Grid{
+		HW:         hw,
+		Policies:   []core.Policy{core.Passive, core.ActiveIntra},
+		Distances:  distances(o.MaxD),
+		SlackNs:    taus,
+		ErrorRates: []float64{paperP},
+		Bases:      []surface.Basis{surface.BasisX, surface.BasisZ},
+	}, o)
+	if err != nil {
+		return err
+	}
 	for _, pn := range panels {
 		fmt.Fprintf(w, "%s lattice surgery, observable %s (IBM)\n", pn.basis, pn.labels[0])
 		fmt.Fprintf(w, "  %-4s %-10s %-10s\n", "d", "tau=500", "tau=1000")
 		for _, d := range distances(o.MaxD) {
 			var vals []float64
-			for _, tau := range []float64{500, 1000} {
-				pass, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
-				if err != nil {
-					return err
-				}
-				intra, _, err := runPolicy(d, pn.basis, hardware.IBM(), paperP, core.ActiveIntra, tau, 0, 0, 0, o.Shots, o.Seed+3, o.Workers)
-				if err != nil {
-					return err
-				}
-				vals = append(vals, ratio(pass.Rate(surface.ObsJoint), intra.Rate(surface.ObsJoint)))
+			for _, tau := range taus {
+				pass := recs[pointID{core.Passive, d, tau, pn.basis, hw.CycleNs()}]
+				intra := recs[pointID{core.ActiveIntra, d, tau, pn.basis, hw.CycleNs()}]
+				vals = append(vals, ratio(pass.JointRate, intra.JointRate))
 			}
 			fmt.Fprintf(w, "  %-4d %-10.3f %-10.3f\n", d, vals[0], vals[1])
 		}
@@ -218,7 +240,6 @@ func Fig17(w io.Writer, o Options) error {
 
 // Fig18a spreads the Active slack over d+1+R rounds.
 func Fig18a(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	header(w, fmt.Sprintf("Fig 18(a): Active slack spread over d+1+R rounds (d=%d, IBM)", d))
 	fmt.Fprintf(w, "%-4s %-14s %-14s\n", "R", "tau=500", "tau=1000")
@@ -261,7 +282,6 @@ func Fig18a(w io.Writer, o Options) error {
 
 // Fig18b prints LER vs added rounds without any slack.
 func Fig18b(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	header(w, fmt.Sprintf("Fig 18(b): LER vs additional rounds, no slack (d=%d, IBM)", d))
 	fmt.Fprintf(w, "%-4s %-14s %-14s\n", "R", "LER joint", "LER single")
@@ -286,9 +306,12 @@ func Fig18b(w io.Writer, o Options) error {
 }
 
 // Fig19 compares Active, Extra Rounds and Hybrid against Passive for
-// unequal cycle times.
+// unequal cycle times. Each policy case is one sweep grid (the Hybrid ε
+// variants need distinct grids because ε shapes the plan); the shared
+// cache deduplicates specs across cases — Passive's baselines are built
+// once and the ε variants that resolve to the same schedule reuse one
+// artifact set.
 func Fig19(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	header(w, fmt.Sprintf("Fig 19: reduction vs Passive, unequal cycles (d=%d; paper d=11)", d))
 	fmt.Fprintln(w, "T_P=1000ns scaled IBM profile; averaged over T_P' in {1050,1100,1150}ns and both observables")
@@ -306,26 +329,42 @@ func Fig19(w io.Writer, o Options) error {
 		{"Hybrid(eps400)", core.Hybrid, 400},
 	}
 	hw := hardware.IBM().Scaled(1000)
+	taus := []float64{500, 1000}
+	tpps := []float64{1050, 1100, 1150}
+	grid := func(policy core.Policy, eps int64) sweep.Grid {
+		return sweep.Grid{
+			HW:            hw,
+			Policies:      []core.Policy{policy},
+			Distances:     []int{d},
+			SlackNs:       taus,
+			ErrorRates:    []float64{paperP},
+			CyclePNs:      1000,
+			CyclePPrimeNs: tpps,
+			EpsNs:         eps,
+		}
+	}
+	passive, err := collectGrid(grid(core.Passive, 0), o)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-16s %-12s %-12s\n", "policy", "tau=500", "tau=1000")
 	for _, pc := range cases {
+		recs, err := collectGrid(grid(pc.policy, pc.eps), o)
+		if err != nil {
+			return err
+		}
 		var cols []string
-		for _, tau := range []float64{500, 1000} {
+		for _, tau := range taus {
 			num, den, used := 0.0, 0.0, 0
-			for i, tpPrime := range []float64{1050, 1100, 1150} {
-				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i), o.Workers)
-				if err != nil {
-					return err
-				}
-				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, tau, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(10+i), o.Workers)
-				if err != nil {
-					return err
-				}
-				if !ok {
+			for _, tpPrime := range tpps {
+				pol := recs[pointID{pc.policy, d, tau, surface.BasisX, tpPrime}]
+				if !pol.Feasible {
 					continue
 				}
+				pass := passive[pointID{core.Passive, d, tau, surface.BasisX, tpPrime}]
 				used++
-				num += pass.Rate(0) + pass.Rate(1)
-				den += pol.Rate(0) + pol.Rate(1)
+				num += pass.JointRate + pass.SingleRate
+				den += pol.JointRate + pol.SingleRate
 			}
 			if used == 0 {
 				cols = append(cols, "infeasible")
@@ -341,7 +380,6 @@ func Fig19(w io.Writer, o Options) error {
 
 // Fig21 evaluates policies on the neutral-atom platform.
 func Fig21(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := 3
 	if o.MaxD < d {
 		d = o.MaxD
@@ -384,7 +422,6 @@ func Fig21(w io.Writer, o Options) error {
 // the merge operation; Active synchronization produces fewer defects in
 // that window, raising the LUT hit rate and cutting mean latency.
 func Fig22(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Fig 22: decoding speedup of Active over Passive per Lattice Surgery op")
 	lutBytes := map[int]int{3: 3 << 10, 5: 3 << 20, 7: 30 << 20}
 	fmt.Fprintf(w, "%-4s %-8s %-14s %-14s %-12s %-12s\n", "d", "lutMB", "hit(Passive)", "hit(Active)", "meanLat(ns)", "speedup")
@@ -450,25 +487,30 @@ func Fig22(w io.Writer, o Options) error {
 	return nil
 }
 
-// Table1 prints absolute error counts for Passive vs Active.
+// Table1 prints absolute error counts for Passive vs Active, as a preset
+// over one sweep grid.
 func Table1(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Table 1: logical error counts (Google coherence: T1=25us, T2=40us)")
 	hw := hardware.Google()
+	taus := []float64{500, 1000}
+	recs, err := collectGrid(sweep.Grid{
+		HW:         hw,
+		Policies:   []core.Policy{core.Passive, core.Active},
+		Distances:  distances(o.MaxD),
+		SlackNs:    taus,
+		ErrorRates: []float64{paperP},
+	}, o)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "shots per cell: %d (paper: 1e5)\n", o.Shots)
-	for _, tau := range []float64{500, 1000} {
+	for _, tau := range taus {
 		fmt.Fprintf(w, "slack = %.0fns\n", tau)
 		fmt.Fprintf(w, "  %-4s %-10s %-10s %-12s\n", "d", "Passive", "Active", "% reduction")
 		for _, d := range distances(o.MaxD) {
-			pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, tau, 0, 0, 0, o.Shots, o.Seed, o.Workers)
-			if err != nil {
-				return err
-			}
-			act, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Active, tau, 0, 0, 0, o.Shots, o.Seed+5, o.Workers)
-			if err != nil {
-				return err
-			}
-			pc, ac := pass.Errors[surface.ObsSingle], act.Errors[surface.ObsSingle]
+			pass := recs[pointID{core.Passive, d, tau, surface.BasisX, hw.CycleNs()}]
+			act := recs[pointID{core.Active, d, tau, surface.BasisX, hw.CycleNs()}]
+			pc, ac := pass.SingleErrors, act.SingleErrors
 			redPct := 0.0
 			if pc > 0 {
 				redPct = 100 * float64(pc-ac) / float64(pc)
@@ -479,9 +521,10 @@ func Table1(w io.Writer, o Options) error {
 	return nil
 }
 
-// Table2 prints the worked policy comparison.
+// Table2 prints the worked policy comparison, as a preset over per-ε
+// sweep grids. The plan columns (idle, extra rounds) come straight off
+// the records.
 func Table2(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	d := o.MaxD
 	header(w, fmt.Sprintf("Table 2: T_P=1000ns, T_P'=1325ns, tau=1000ns, eps=400ns (d=%d; paper d=7)", d))
 	hw := hardware.IBM().Scaled(1000)
@@ -496,56 +539,80 @@ func Table2(w io.Writer, o Options) error {
 		{"ExtraRounds", core.ExtraRounds, 0},
 		{"Hybrid", core.Hybrid, 400},
 	} {
-		spec, plan, ok := SpecForPolicy(d, surface.BasisX, hw, paperP, rw.policy, 1000, 1000, 1325, rw.eps)
-		if !ok {
+		recs, err := collectGrid(sweep.Grid{
+			HW:            hw,
+			Policies:      []core.Policy{rw.policy},
+			Distances:     []int{d},
+			SlackNs:       []float64{1000},
+			ErrorRates:    []float64{paperP},
+			CyclePNs:      1000,
+			CyclePPrimeNs: []float64{1325},
+			EpsNs:         rw.eps,
+		}, o)
+		if err != nil {
+			return err
+		}
+		r := recs[pointID{rw.policy, d, 1000, surface.BasisX, 1325}]
+		if !r.Feasible {
 			fmt.Fprintf(w, "%-14s infeasible\n", rw.name)
 			continue
 		}
-		res, err := spec.Build()
-		if err != nil {
-			return err
-		}
-		pl, err := NewPipeline(res.Circuit)
-		if err != nil {
-			return err
-		}
-		pl.Workers = o.Workers
-		r := pl.Run(o.Shots, o.Seed)
 		fmt.Fprintf(w, "%-14s %-12.0f %-12d %-14.4g\n",
-			rw.name, plan.TotalIdleNs(), plan.ExtraRoundsP, (r.Rate(0)+r.Rate(1))/2)
+			rw.name, r.TotalIdleNs, r.ExtraRoundsP, (r.JointRate+r.SingleRate)/2)
 	}
 	fmt.Fprintln(w, "paper (d=7): idle 1000/0/300ns, rounds 0/52/4, LER 0.0014/0.0059/0.00095")
 	return nil
 }
 
 // Table4 prints mean reductions per policy for the largest distances.
+// Like Fig. 19 it is a preset over per-ε grids; unlike the pre-sweep
+// implementation, the Passive baseline is computed once per (d, T_P′)
+// instead of once per policy column, and its artifacts are shared with
+// Fig. 19's through the preset cache.
 func Table4(w io.Writer, o Options) error {
-	o = o.withDefaults()
 	header(w, "Table 4: mean LER reduction vs Passive (tau=1000ns)")
 	hw := hardware.IBM().Scaled(1000)
+	tpps := []float64{1050, 1100, 1150}
+	grid := func(policy core.Policy, eps int64) sweep.Grid {
+		return sweep.Grid{
+			HW:            hw,
+			Policies:      []core.Policy{policy},
+			Distances:     distances(o.MaxD),
+			SlackNs:       []float64{1000},
+			ErrorRates:    []float64{paperP},
+			CyclePNs:      1000,
+			CyclePPrimeNs: tpps,
+			EpsNs:         eps,
+		}
+	}
+	passive, err := collectGrid(grid(core.Passive, 0), o)
+	if err != nil {
+		return err
+	}
+	cases := []struct {
+		policy core.Policy
+		eps    int64
+	}{{core.Active, 0}, {core.ExtraRounds, 0}, {core.Hybrid, 400}}
+	byCase := make([]map[pointID]sweep.Record, len(cases))
+	for i, pc := range cases {
+		if byCase[i], err = collectGrid(grid(pc.policy, pc.eps), o); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "%-4s %-10s %-14s %-18s\n", "d", "Active", "ExtraRounds", "Hybrid(eps=400)")
 	for _, d := range distances(o.MaxD) {
 		row := []string{}
-		for _, pc := range []struct {
-			policy core.Policy
-			eps    int64
-		}{{core.Active, 0}, {core.ExtraRounds, 0}, {core.Hybrid, 400}} {
+		for i, pc := range cases {
 			num, den, used := 0.0, 0.0, 0
-			for i, tpPrime := range []float64{1050, 1100, 1150} {
-				pass, _, err := runPolicy(d, surface.BasisX, hw, paperP, core.Passive, 1000, 1000, tpPrime, 0, o.Shots, o.Seed+uint64(i), o.Workers)
-				if err != nil {
-					return err
-				}
-				pol, ok, err := runPolicy(d, surface.BasisX, hw, paperP, pc.policy, 1000, 1000, tpPrime, pc.eps, o.Shots, o.Seed+uint64(20+i), o.Workers)
-				if err != nil {
-					return err
-				}
-				if !ok {
+			for _, tpPrime := range tpps {
+				pol := byCase[i][pointID{pc.policy, d, 1000, surface.BasisX, tpPrime}]
+				if !pol.Feasible {
 					continue
 				}
+				pass := passive[pointID{core.Passive, d, 1000, surface.BasisX, tpPrime}]
 				used++
-				num += pass.Rate(0) + pass.Rate(1)
-				den += pol.Rate(0) + pol.Rate(1)
+				num += pass.JointRate + pass.SingleRate
+				den += pol.JointRate + pol.SingleRate
 			}
 			if used == 0 {
 				row = append(row, "infeasible")

@@ -1,7 +1,16 @@
-// Package exp contains the experiment harness: the logical-error-rate
-// estimation pipeline (sample → detector error model → union-find decode)
-// and one runner per table and figure of the paper's evaluation (§7).
-package exp
+// Package mc is the Monte Carlo execution layer shared by every consumer
+// of the simulator: it bundles a stabilizer circuit with its detector
+// error model and decoder graph (Pipeline), and runs shot budgets through
+// a parallel sharded executor whose results are bit-identical for any
+// worker count (see DESIGN.md §5).
+//
+// The layer sits between the circuit substrate (circuit, frame, dem,
+// decoder) and its two consumers: the per-figure experiment runners in
+// internal/exp and the campaign engine in internal/sweep. Budgets are
+// split into 4096-shot shards with per-shard RNG streams keyed on
+// (seed, shard index); shard tallies are folded in shard order, so
+// Pipeline.Run output is a pure function of (circuit, shots, seed).
+package mc
 
 import (
 	"fmt"
@@ -77,7 +86,7 @@ func NewPipeline(c *circuit.Circuit) (*Pipeline, error) {
 	m := dem.FromCircuit(c)
 	g := decoder.BuildGraph(m)
 	if err := g.CheckMatchable(); err != nil {
-		return nil, fmt.Errorf("exp: decoder graph: %w", err)
+		return nil, fmt.Errorf("mc: decoder graph: %w", err)
 	}
 	return &Pipeline{Circuit: c, Model: m, Graph: g}, nil
 }

@@ -1,4 +1,4 @@
-package exp
+package mc
 
 // Parallel sharded Monte Carlo execution (see DESIGN.md §5).
 //

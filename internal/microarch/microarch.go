@@ -8,6 +8,12 @@
 // advance on Tick, tables are fixed-size arrays, and the planning path is
 // the exact arithmetic a hardware implementation would perform. Fig. 20's
 // right panel (planning time vs patch count) benchmarks PlanSync.
+//
+// Lifecycle: NewEngine allocates the tables, Register/Invalidate manage
+// patch rows, Tick advances the global clock, and PlanSync turns the
+// tracked phase state into a Schedule that VerifySchedule replays for
+// exactness. The public facade re-exports Engine and Schedule; see
+// DESIGN.md §2 for where the package sits in the architecture.
 package microarch
 
 import (

@@ -8,6 +8,12 @@
 // accumulated drift modulo the surface code cycle — a sawtooth in r whose
 // teeth depend only on the platform's gate/readout latencies (it is
 // independent of the physical error rate).
+//
+// ClocksFor derives both cycle durations from a hardware.Config;
+// Clocks.SlackAtRound and Clocks.SlackSeries evaluate the sawtooth, and
+// Clocks.RoundsPerWrap gives its period. The fig4b runner in
+// internal/exp plots the series; see DESIGN.md §2 for where the package
+// sits in the architecture.
 package qldpc
 
 import "latticesim/internal/hardware"

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"strconv"
+	"sync"
+
+	"latticesim/internal/mc"
+	"latticesim/internal/surface"
+)
+
+// Artifact is everything expensive a point needs that depends only on its
+// merge spec: the generated circuit with its layout metadata, and the
+// pipeline bundling the extracted detector error model and decoder graph.
+type Artifact struct {
+	Build    *surface.MergeResult
+	Pipeline *mc.Pipeline
+}
+
+// BuildCache deduplicates Artifacts across campaign points, keyed by the
+// canonical spec hash (SpecKey). Grids routinely repeat specs — the Ideal
+// policy collapses every slack to one circuit, Passive baselines recur
+// across policy-comparison columns, and presets for different figures
+// share (d, p, basis) cells — and each repeat skips circuit generation,
+// DEM extraction and decoder-graph construction.
+//
+// A cache may be shared across campaigns (the exp presets do exactly
+// that). It is safe for concurrent use, though the campaign runner itself
+// executes points sequentially and parallelizes within each point.
+//
+// The cache is unbounded: it holds one artifact set per distinct spec for
+// its lifetime, trading memory for reuse. Artifacts are a few MB each at
+// the largest paper distance (d=15), and a grid's distinct-spec count is
+// bounded by its point count, so even paper-scale campaigns stay in the
+// hundreds of MB; scope a cache to a campaign (pass nil) when that
+// matters more than cross-campaign dedup.
+type BuildCache struct {
+	mu     sync.Mutex
+	arts   map[string]*Artifact
+	hits   int
+	misses int
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{arts: make(map[string]*Artifact)}
+}
+
+// SpecKey returns the canonical identity of a merge spec's build
+// artifacts. Defaulted fields are resolved first (round counts of 0 mean
+// d+1, cycle times of 0 mean the hardware base cycle), so a spec written
+// with explicit defaults and one relying on them hash identically.
+func SpecKey(s surface.MergeSpec) string {
+	base := s.HW.CycleNs()
+	if s.CyclePNs == 0 {
+		s.CyclePNs = base
+	}
+	if s.CyclePPrimeNs == 0 {
+		s.CyclePPrimeNs = base
+	}
+	if s.RoundsP == 0 {
+		s.RoundsP = s.D + 1
+	}
+	if s.RoundsPPrime == 0 {
+		s.RoundsPPrime = s.D + 1
+	}
+	if s.RoundsMerged == 0 {
+		s.RoundsMerged = s.D + 1
+	}
+	return "d=" + strconv.Itoa(s.D) +
+		" basis=" + s.Basis.String() +
+		" hw=" + hwKey(s.HW) +
+		" p=" + fstr(s.P) +
+		" tp=" + fstr(s.CyclePNs) +
+		" tpp=" + fstr(s.CyclePPrimeNs) +
+		" rounds=" + strconv.Itoa(s.RoundsP) + "/" + strconv.Itoa(s.RoundsPPrime) + "/" + strconv.Itoa(s.RoundsMerged) +
+		" idle=" + fstr(s.LumpedIdleNs) + "/" + fstr(s.SpreadIdleNs) + "/" + fstr(s.IntraIdleNs)
+}
+
+// Get returns the artifacts for the spec, building them on first use.
+// The boolean reports whether the artifacts were served from the cache.
+func (c *BuildCache) Get(spec surface.MergeSpec) (*Artifact, bool, error) {
+	key := SpecKey(spec)
+	c.mu.Lock()
+	if art, ok := c.arts[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return art, true, nil
+	}
+	c.mu.Unlock()
+
+	res, err := spec.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	pl, err := mc.NewPipeline(res.Circuit)
+	if err != nil {
+		return nil, false, err
+	}
+	art := &Artifact{Build: res, Pipeline: pl}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.arts[key]; ok {
+		// A concurrent builder won the race; keep the first artifact so
+		// every caller shares one pipeline.
+		c.hits++
+		return prior, true, nil
+	}
+	c.misses++
+	c.arts[key] = art
+	return art, false, nil
+}
+
+// Stats reports the cache-hit counters: hits is the number of Get calls
+// served without building, misses the number of artifact constructions.
+func (c *BuildCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct artifacts held.
+func (c *BuildCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.arts)
+}

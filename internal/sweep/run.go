@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config carries a campaign's execution parameters.
+type Config struct {
+	// Shots per point (default 40000, matching exp.Options).
+	Shots int
+	// Seed is the campaign seed every point seed derives from
+	// (default 0xC0FFEE).
+	Seed uint64
+	// Workers is the Monte Carlo worker-pool size used inside each point
+	// (0 = all CPUs). Points themselves execute sequentially in canonical
+	// order, which is what makes streamed output deterministic; the
+	// parallelism lives in the sharded shot loop, where it is already
+	// bit-reproducible (DESIGN.md §5).
+	Workers int
+	// MaxPoints stops the campaign after that many newly executed points
+	// (0 = run the whole grid). Used by smoke tests and to slice long
+	// campaigns into resumable chunks.
+	MaxPoints int
+	// Progress, when set, observes each record as it completes, with the
+	// point's 1-based position and the grid size.
+	Progress func(position, total int, r Record)
+}
+
+// WithDefaults resolves the zero values: 40000 shots, seed 0xC0FFEE.
+// Callers that need the resolved values up front (e.g. to pin a manifest
+// header) should resolve once and reuse, so their record of the campaign
+// can never drift from what Run executes.
+func (c Config) WithDefaults() Config {
+	if c.Shots == 0 {
+		c.Shots = 40000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0FFEE
+	}
+	return c
+}
+
+// Summary reports what a campaign run did.
+type Summary struct {
+	// Points is the full grid size; Executed were run this invocation,
+	// Skipped were already in the manifest, and Infeasible of the executed
+	// points had no plan solution (they are recorded and marked done).
+	Points, Executed, Skipped, Infeasible int
+	// CacheHits / CacheMisses count artifact-cache outcomes across the
+	// executed points (three artifacts — circuit, DEM, decoder graph —
+	// are built together per miss).
+	CacheHits, CacheMisses int
+	// Interrupted is true when MaxPoints ended the run before the grid was
+	// exhausted; rerunning the same campaign resumes after the manifest.
+	Interrupted bool
+}
+
+// Campaign binds a grid to its execution configuration and outputs.
+type Campaign struct {
+	Grid   Grid
+	Config Config
+	// Cache deduplicates build artifacts across points. Optional: a fresh
+	// cache is used when nil. Sharing one cache across campaigns (as the
+	// exp presets do) extends deduplication across them.
+	Cache *BuildCache
+	// Manifest, when set, makes the run resumable: points whose keys are
+	// already journaled are skipped, and completed points are journaled.
+	Manifest *Manifest
+	// Sinks receive each completed record in canonical point order.
+	Sinks []Sink
+}
+
+// Run executes the campaign: expand the grid, skip manifest-completed
+// points, execute the rest sequentially through the shared artifact
+// cache, and stream each record to every sink before journaling the point
+// as done (a record is never marked complete before it is durably
+// emitted).
+func (c *Campaign) Run() (Summary, error) {
+	cfg := c.Config.WithDefaults()
+	pts, err := c.Grid.Points()
+	if err != nil {
+		return Summary{}, err
+	}
+	cache := c.Cache
+	if cache == nil {
+		cache = NewBuildCache()
+	}
+	hits0, misses0 := cache.Stats()
+
+	sum := Summary{Points: len(pts)}
+	for i, pt := range pts {
+		key := pt.Key()
+		if c.Manifest != nil && c.Manifest.Done(key) {
+			sum.Skipped++
+			continue
+		}
+		if cfg.MaxPoints > 0 && sum.Executed >= cfg.MaxPoints {
+			sum.Interrupted = true
+			break
+		}
+		rec, err := runPoint(cache, pt, cfg)
+		if err != nil {
+			return sum, fmt.Errorf("sweep: point %s: %w", key, err)
+		}
+		sum.Executed++
+		if !rec.Feasible {
+			sum.Infeasible++
+		}
+		for _, sink := range c.Sinks {
+			if err := sink.Write(rec); err != nil {
+				return sum, fmt.Errorf("sweep: writing record for %s: %w", key, err)
+			}
+		}
+		if c.Manifest != nil {
+			// Make every sink durable before journaling the key: the
+			// manifest must never durably claim a point whose record could
+			// still be lost in the page cache.
+			for _, sink := range c.Sinks {
+				if s, ok := sink.(Syncer); ok {
+					if err := s.Sync(); err != nil {
+						return sum, fmt.Errorf("sweep: syncing record for %s: %w", key, err)
+					}
+				}
+			}
+			if err := c.Manifest.MarkDone(key); err != nil {
+				return sum, fmt.Errorf("sweep: manifest update for %s: %w", key, err)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(pts), rec)
+		}
+	}
+	hits1, misses1 := cache.Stats()
+	sum.CacheHits = hits1 - hits0
+	sum.CacheMisses = misses1 - misses0
+	return sum, nil
+}
+
+// runPoint executes one point: resolve the policy plan, fetch (or build)
+// the spec's artifacts, and run the shot budget on the point's derived
+// seed.
+func runPoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
+	start := time.Now()
+	rec := Record{
+		Key:           pt.Key(),
+		Policy:        pt.Policy.String(),
+		D:             pt.D,
+		TauNs:         pt.TauNs,
+		P:             pt.P,
+		Basis:         pt.Basis.String(),
+		Hardware:      pt.HW.Name,
+		CyclePNs:      pt.CyclePNs,
+		CyclePPrimeNs: pt.CyclePPrimeNs,
+		EpsNs:         pt.EpsNs,
+		Seed:          pt.Seed(cfg.Seed),
+		Shots:         cfg.Shots,
+	}
+	spec, plan, ok := pt.Resolve()
+	rec.Feasible = ok
+	if ok {
+		rec.ExtraRoundsP = plan.ExtraRoundsP
+		rec.ExtraRoundsPPrime = plan.ExtraRoundsPPrime
+		rec.TotalIdleNs = plan.TotalIdleNs()
+		art, _, err := cache.Get(spec)
+		if err != nil {
+			return rec, err
+		}
+		// Run on a shallow copy so the shared cached Pipeline is never
+		// mutated — campaigns with different worker counts can share a
+		// cache concurrently.
+		pl := *art.Pipeline
+		pl.Workers = cfg.Workers
+		rec.fillStats(pl.Run(rec.Shots, rec.Seed))
+	}
+	rec.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return rec, nil
+}
+
+// Collect runs the grid in memory and returns its records in canonical
+// order — the form the exp presets consume. The cache argument may be nil
+// or shared across calls.
+func Collect(g Grid, cfg Config, cache *BuildCache) ([]Record, error) {
+	var sink sliceSink
+	camp := &Campaign{Grid: g, Config: cfg, Cache: cache, Sinks: []Sink{&sink}}
+	if _, err := camp.Run(); err != nil {
+		return nil, err
+	}
+	return sink.recs, nil
+}

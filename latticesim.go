@@ -29,6 +29,7 @@ import (
 	"latticesim/internal/hardware"
 	"latticesim/internal/microarch"
 	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
 )
 
 // Synchronization policies (§4 of the paper).
@@ -152,6 +153,40 @@ type (
 // NewEngine creates a synchronization engine with the given patch
 // capacity.
 func NewEngine(capacity int) *Engine { return microarch.NewEngine(capacity) }
+
+// Sweep campaigns: declarative parameter grids with cached build
+// artifacts, machine-readable records and resumable manifests (the
+// engine behind `latticesim sweep`; see EXPERIMENTS.md).
+type (
+	// SweepGrid declares a policies × distances × slacks × error rates ×
+	// bases campaign.
+	SweepGrid = sweep.Grid
+	// SweepPoint is one concrete experiment of a campaign.
+	SweepPoint = sweep.Point
+	// SweepConfig carries campaign execution parameters.
+	SweepConfig = sweep.Config
+	// SweepRecord is the machine-readable result of one campaign point.
+	SweepRecord = sweep.Record
+	// SweepSummary reports what a campaign run did.
+	SweepSummary = sweep.Summary
+	// SweepCampaign binds a grid to its outputs (sinks, manifest, cache).
+	SweepCampaign = sweep.Campaign
+	// SweepSink receives completed records in canonical point order.
+	SweepSink = sweep.Sink
+	// BuildCache deduplicates circuit/DEM/decoder-graph artifacts across
+	// campaign points, keyed by canonical spec hash.
+	BuildCache = sweep.BuildCache
+)
+
+// NewBuildCache returns an empty artifact cache; share one across
+// campaigns to deduplicate their common specs.
+func NewBuildCache() *BuildCache { return sweep.NewBuildCache() }
+
+// CollectSweep runs a grid in memory and returns its records in
+// canonical point order. cache may be nil.
+func CollectSweep(g SweepGrid, cfg SweepConfig, cache *BuildCache) ([]SweepRecord, error) {
+	return sweep.Collect(g, cfg, cache)
+}
 
 // Experiments: regeneration of the paper's tables and figures.
 type (
