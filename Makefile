@@ -1,0 +1,40 @@
+# Build, test and benchmark entry points. The bench targets feed the
+# BENCH_*.json perf trajectory (see DESIGN.md §9 and cmd/benchjson).
+
+GO ?= go
+
+# bench pipes through tee; pipefail keeps a failing benchmark run fatal.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# Substrate microbenchmarks: sampling, extraction, decoding, end-to-end
+# LER. Override BENCH to select others, BENCHTIME/COUNT for precision
+# (COUNT>=10 for benchstat-grade confidence intervals).
+BENCH ?= FrameSampling|Extraction|LUTDecode|UnionFindDecodeSteady|PipelineRunLowP|PipelineRunWorkers
+BENCHTIME ?= 2s
+COUNT ?= 1
+BENCH_OUT ?= bench.txt
+BENCH_JSON ?= BENCH_pr3.json
+
+.PHONY: build test race bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench writes benchstat-friendly raw output to $(BENCH_OUT); compare
+# against the committed pre-PR-3 numbers with
+#   benchstat bench_baseline_pr3.txt bench.txt
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | tee $(BENCH_OUT)
+
+# bench-json converts the raw output into the machine-readable perf
+# record (ns/op, allocs/op, shots/s per benchmark), with the committed
+# baseline embedded for before/after comparison.
+bench-json: bench
+	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -baseline bench_baseline_pr3.txt -out $(BENCH_JSON)

@@ -85,7 +85,7 @@ func buildMerge(b *testing.B, d int) *surface.MergeResult {
 }
 
 // BenchmarkFrameSampling measures raw detector-sampling throughput
-// (shots/op = 64).
+// (shots/op = 64) of the interpreting sampler.
 func BenchmarkFrameSampling(b *testing.B) {
 	for _, d := range []int{3, 5, 7} {
 		res := buildMerge(b, d)
@@ -96,8 +96,140 @@ func BenchmarkFrameSampling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.SampleBatch(rng, 64)
 			}
+			b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
 		})
 	}
+}
+
+// BenchmarkFrameSamplingCompiled measures the compiled-plan sampler on
+// the same circuits; the ratio to BenchmarkFrameSampling is the win from
+// instruction fusion and precomputed noise constants alone.
+func BenchmarkFrameSamplingCompiled(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		s := frame.Compile(res.Circuit).NewSampler()
+		rng := stats.NewRand(1)
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.SampleBatch(rng, 64)
+			}
+			b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}
+
+// BenchmarkExtraction compares the dense per-shot scan with the sparse
+// transpose extractor on a low-error-rate d=7 memory batch — the regime
+// where almost no detectors fire and the dense O(64 × detectors) scan is
+// pure overhead.
+func BenchmarkExtraction(b *testing.B) {
+	res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-4}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := frame.Compile(res.Circuit).NewSampler()
+	batch := s.SampleBatch(stats.NewRand(1), 64)
+	sink := 0
+	b.Run("dense/d7-p=0.0001", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			batch.ForEachShot(func(_ int, defects []int, _ uint64) { sink += len(defects) })
+		}
+		b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	})
+	b.Run("sparse/d7-p=0.0001", func(b *testing.B) {
+		ext := frame.NewExtractor()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext.ForEachShot(batch, func(_ int, defects []int, _ uint64) { sink += len(defects) })
+		}
+		b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	})
+	_ = sink
+}
+
+// BenchmarkLUTDecode measures steady-state LUT decoding; allocs/op must
+// stay 0 (the scratch-keyed map probe).
+func BenchmarkLUTDecode(b *testing.B) {
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := dem.FromCircuit(res.Circuit)
+	lut := decoder.BuildLUT(m, 3<<10, 8)
+	pool := decodePool(b, res)
+	lut.Decode(pool[0]) // warm the key scratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lut.Decode(pool[i%len(pool)])
+	}
+}
+
+// BenchmarkUnionFindDecodeSteady measures steady-state union-find
+// decoding after scratch warm-up; allocs/op must stay 0.
+func BenchmarkUnionFindDecodeSteady(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		m := dem.FromCircuit(res.Circuit)
+		g := decoder.BuildGraph(m)
+		uf := decoder.NewUnionFind(g)
+		pool := decodePool(b, res)
+		for _, defects := range pool {
+			uf.Decode(defects) // reach the scratch high-water mark
+		}
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				uf.Decode(pool[i%len(pool)])
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineRunLowP is the acceptance benchmark of ISSUE 3: the
+// end-to-end sample→extract→decode loop at the paper's operating point
+// (p=1e-3) and below threshold (p=1e-4), where the zero-syndrome and
+// sparse-extraction fast paths carry the load. workers=1 isolates the
+// per-shot cost from parallel speedup.
+func BenchmarkPipelineRunLowP(b *testing.B) {
+	const shots = 40960
+	for _, p := range []float64{1e-3, 1e-4} {
+		res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: p}.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := exp.NewPipeline(res.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.Workers = 1
+		b.Run(fmt.Sprintf("p=%g/workers=1", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := pl.Run(shots, 1)
+				if r.Shots != shots {
+					b.Fatalf("shots %d", r.Shots)
+				}
+			}
+			b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}
+
+// decodePool samples one 64-shot batch and returns its defect sets.
+func decodePool(b *testing.B, res *surface.MergeResult) [][]int {
+	b.Helper()
+	s := frame.NewSampler(res.Circuit)
+	var pool [][]int
+	batch := s.SampleBatch(stats.NewRand(1), 64)
+	batch.ForEachShot(func(_ int, defects []int, _ uint64) {
+		pool = append(pool, append([]int(nil), defects...))
+	})
+	if len(pool) == 0 {
+		b.Fatal("empty decode pool")
+	}
+	return pool
 }
 
 // BenchmarkDEMExtraction measures reverse error-propagation time.

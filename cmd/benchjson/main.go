@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_*.json perf record that tracks the repository's
+// performance trajectory across PRs (see Makefile `bench-json`).
+//
+// Input is the standard benchmark text format (one "BenchmarkName N
+// value unit [value unit ...]" line per result, benchstat-compatible);
+// context lines (goos/goarch/pkg/cpu) are captured alongside. An
+// optional -baseline file — raw bench output saved before an
+// optimization — is parsed into a parallel section so the JSON document
+// carries its own before/after comparison.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_pr3.json
+//	benchjson -in bench.txt -baseline bench_baseline_pr3.txt -out BENCH_pr3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics maps unit → value
+// (e.g. "ns/op", "allocs/op", "shots/s").
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Suite is every benchmark of one bench run plus its context lines.
+type Suite struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Note     string `json:"note,omitempty"`
+	Current  Suite  `json:"current"`
+	Baseline *Suite `json:"baseline,omitempty"`
+}
+
+var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
+
+// trimProcSuffix strips the trailing -GOMAXPROCS from a benchmark name
+// ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar").
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func parseSuite(r io.Reader) (Suite, error) {
+	s := Suite{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		isContext := false
+		for _, k := range contextKeys {
+			if v, ok := strings.CutPrefix(line, k+":"); ok {
+				s.Context[k] = strings.TrimSpace(v)
+				isContext = true
+				break
+			}
+		}
+		if isContext || !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	return s, sc.Err()
+}
+
+func parseFile(path string) (Suite, error) {
+	if path == "-" {
+		return parseSuite(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Suite{}, err
+	}
+	defer f.Close()
+	return parseSuite(f)
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output to convert ('-' for stdin)")
+	baseline := flag.String("baseline", "", "optional pre-optimization bench output for the before/after record")
+	out := flag.String("out", "-", "output JSON path ('-' for stdout)")
+	note := flag.String("note", "", "free-form note embedded in the document")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	cur, err := parseFile(*in)
+	if err != nil {
+		die(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		die(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+	doc := Doc{Note: *note, Current: cur}
+	if *baseline != "" {
+		base, err := parseFile(*baseline)
+		if err != nil {
+			die(err)
+		}
+		doc.Baseline = &base
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		die(err)
+	}
+}

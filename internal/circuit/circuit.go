@@ -85,6 +85,23 @@ func (t OpType) IsTwoQubit() bool {
 	return t == OpCNOT || t == OpDepolarize2
 }
 
+// FusesByTargetConcat reports whether adjacent ops of this type may be
+// merged into one op by concatenating their target lists without changing
+// simulation semantics. This holds exactly for the deterministic
+// gate-layer ops: they act on each target independently in order, and any
+// randomness they consume (reset/measurement randomization) is drawn
+// strictly per target. Stochastic channels are excluded — their event
+// sampling spans the whole op (geometric skipping over targets × shots),
+// so concatenating two channels would consume a different random stream
+// than running them back to back.
+func (t OpType) FusesByTargetConcat() bool {
+	switch t {
+	case OpH, OpX, OpZ, OpS, OpCNOT, OpReset, OpMeasure, OpMeasureReset:
+		return true
+	}
+	return false
+}
+
 // Op is a single instruction. Interpretation of the fields depends on Type:
 //
 //   - gates/noise: Targets are qubit indices (pairs for CX/DEPOLARIZE2),

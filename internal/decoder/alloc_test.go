@@ -1,0 +1,186 @@
+package decoder
+
+import (
+	"sync"
+	"testing"
+
+	"latticesim/internal/dem"
+	"latticesim/internal/frame"
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+)
+
+// syndromePool samples a pool of defect sets (plus their observable
+// masks) from the circuit the model was extracted from.
+func syndromePool(t *testing.T, d int, p float64) (*Graph, [][]int) {
+	t.Helper()
+	res, err := surface.MergeSpec{D: d, Basis: surface.BasisX, HW: hardware.IBM(), P: p}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dem.FromCircuit(res.Circuit)
+	g := BuildGraph(m)
+	s := frame.NewSampler(res.Circuit)
+	rng := stats.NewRand(11)
+	var pool [][]int
+	for batch := 0; batch < 4; batch++ {
+		b := s.SampleBatch(rng, 64)
+		b.ForEachShot(func(_ int, defects []int, _ uint64) {
+			pool = append(pool, append([]int(nil), defects...))
+		})
+	}
+	return g, pool
+}
+
+// TestUnionFindDecodeAllocFree is the steady-state zero-allocation
+// regression test: once the decoder's scratch (frontier arena, peel
+// buffers) has grown to the workload's high-water mark, Decode must not
+// touch the heap.
+func TestUnionFindDecodeAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	g, pool := syndromePool(t, 5, 2e-3)
+	uf := NewUnionFind(g)
+	// Warm the scratch over the full pool twice so every buffer has
+	// reached its high-water mark.
+	for i := 0; i < 2; i++ {
+		for _, defects := range pool {
+			uf.Decode(defects)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(len(pool)*3, func() {
+		uf.Decode(pool[i%len(pool)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state UnionFind.Decode allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestLUTDecodeAllocFree: the per-call lutKey allocation is gone — the
+// key is assembled in decoder scratch and the map is probed with the
+// no-alloc string(buf) idiom.
+func TestLUTDecodeAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dem.FromCircuit(res.Circuit)
+	lut := BuildLUT(m, 1<<20, 8)
+	defects := make([]int, len(m.Errors[0].Detectors))
+	for i, d := range m.Errors[0].Detectors {
+		defects[i] = int(d)
+	}
+	lut.Decode(defects) // warm the key scratch
+	avg := testing.AllocsPerRun(1000, func() {
+		lut.Decode(defects)
+	})
+	if avg != 0 {
+		t.Fatalf("LUT.Decode allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestLUTForkSharesTable: forks answer identically to the parent (same
+// underlying table) while carrying private lookup scratch.
+func TestLUTForkSharesTable(t *testing.T) {
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dem.FromCircuit(res.Circuit)
+	lut := BuildLUT(m, 1<<20, 8)
+	fork := lut.Fork()
+	if fork.Entries() != lut.Entries() || fork.SizeBytes() != lut.SizeBytes() || fork.MaxOrder != lut.MaxOrder {
+		t.Fatal("fork does not share the parent's table")
+	}
+	for _, e := range m.Errors[:50] {
+		defects := make([]int, len(e.Detectors))
+		for i, d := range e.Detectors {
+			defects[i] = int(d)
+		}
+		a, aok := lut.Lookup(defects)
+		b, bok := fork.Lookup(defects)
+		if a != b || aok != bok {
+			t.Fatalf("fork lookup (%x,%v) != parent (%x,%v)", b, bok, a, aok)
+		}
+	}
+}
+
+// TestLUTForkConcurrent hammers forks of one table from several
+// goroutines; under -race this proves forked lookups do not share
+// mutable scratch.
+func TestLUTForkConcurrent(t *testing.T) {
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dem.FromCircuit(res.Circuit)
+	lut := BuildLUT(m, 1<<20, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		fork := lut.Fork()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defects := make([]int, 0, 8)
+			for rep := 0; rep < 200; rep++ {
+				for _, e := range m.Errors[:40] {
+					defects = defects[:0]
+					for _, d := range e.Detectors {
+						defects = append(defects, int(d))
+					}
+					fork.Decode(defects)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestUnionFindDeterministic: the correction is a pure function of the
+// defect set — identical across repeat decodes on one instance and
+// across fresh instances (the peeling stage roots components
+// canonically instead of in map iteration order).
+func TestUnionFindDeterministic(t *testing.T) {
+	g, pool := syndromePool(t, 3, 5e-3)
+	d1 := NewUnionFind(g)
+	d2 := NewUnionFind(g)
+	for i, defects := range pool {
+		r1 := d1.Decode(defects)
+		if r2 := d2.Decode(defects); r1 != r2 {
+			t.Fatalf("pool %d: two instances disagree: %x vs %x", i, r1, r2)
+		}
+		if r3 := d1.Decode(defects); r1 != r3 {
+			t.Fatalf("pool %d: repeat decode disagrees: %x vs %x", i, r1, r3)
+		}
+		if r4 := NewUnionFind(g).Decode(defects); r1 != r4 {
+			t.Fatalf("pool %d: fresh instance disagrees: %x vs %x", i, r1, r4)
+		}
+	}
+}
+
+// TestEmptySyndromeFreeMarkers pins which decoders advertise the
+// zero-syndrome fast path: stateless-on-empty decoders do, the
+// hierarchical decoder (hit/miss counters) must not.
+func TestEmptySyndromeFreeMarkers(t *testing.T) {
+	g, _ := syndromePool(t, 3, 1e-3)
+	if !EmptySyndromeFree(NewUnionFind(g)) {
+		t.Error("UnionFind should be empty-syndrome free")
+	}
+	if !EmptySyndromeFree(NewExact(g)) {
+		t.Error("Exact should be empty-syndrome free")
+	}
+	if !EmptySyndromeFree(&LUT{}) {
+		t.Error("LUT should be empty-syndrome free")
+	}
+	h := &Hierarchical{LUT: &LUT{entries: map[string]uint64{"": 0}}}
+	if EmptySyndromeFree(h) {
+		t.Error("Hierarchical must not advertise the fast path: empty decodes bump its hit counters")
+	}
+}

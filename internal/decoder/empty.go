@@ -1,0 +1,37 @@
+package decoder
+
+// Zero-syndrome fast-path capability.
+//
+// At low physical error rates most 64-shot batches contain no fired
+// detector at all. When the decoder in use is known to map an empty
+// defect set to "no correction" without observable side effects, the
+// Monte Carlo layer can tally whole clean batches with popcounts and
+// never enter the per-shot decode loop. Decoders advertise that property
+// here; anything stateful about empty decodes (e.g. Hierarchical, whose
+// hit/miss counters are part of its results) must not.
+
+// emptySyndromeMarker is implemented by decoders whose Decode returns 0
+// for an empty defect set with no side effects.
+type emptySyndromeMarker interface {
+	EmptySyndromeFree() bool
+}
+
+// EmptySyndromeFree reports whether d is known to decode an empty defect
+// set to 0 without side effects, making per-shot decode calls skippable
+// for clean shots. Unknown decoders conservatively report false.
+func EmptySyndromeFree(d Decoder) bool {
+	m, ok := d.(emptySyndromeMarker)
+	return ok && m.EmptySyndromeFree()
+}
+
+// EmptySyndromeFree marks the union-find decoder: Decode(nil) returns 0
+// immediately and touches no state.
+func (d *UnionFind) EmptySyndromeFree() bool { return true }
+
+// EmptySyndromeFree marks the LUT decoder: the empty syndrome maps to "no
+// correction" by construction and lookups keep no statistics.
+func (l *LUT) EmptySyndromeFree() bool { return true }
+
+// EmptySyndromeFree marks the exact matcher: Decode(nil) returns 0
+// immediately and touches no state.
+func (e *Exact) EmptySyndromeFree() bool { return true }

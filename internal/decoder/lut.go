@@ -13,6 +13,10 @@ import (
 // ASPLOS'22]: it maps whole syndromes (sets of fired detectors) to
 // observable corrections. Tables are built from the most likely
 // combinations of elementary DEM errors until a byte budget is exhausted.
+//
+// Lookups reuse a per-decoder key buffer, so a LUT is not safe for
+// concurrent use; hand each goroutine its own view via Fork, which shares
+// the immutable table but carries private scratch.
 type LUT struct {
 	entries map[string]uint64
 	// BytesPerEntry models the hardware table cost per stored syndrome;
@@ -21,14 +25,32 @@ type LUT struct {
 	// MaxOrder is the highest number of simultaneous elementary errors
 	// whose combined syndromes were enumerated into the table.
 	MaxOrder int
+
+	// keyBuf is the reusable lookup-key scratch; map lookups convert it
+	// with string(keyBuf) directly in the index expression, which Go
+	// compiles to an allocation-free lookup.
+	keyBuf []byte
+}
+
+// Fork returns a decoder sharing l's immutable table but with private
+// lookup scratch, for handing one built LUT to concurrent workers.
+func (l *LUT) Fork() *LUT {
+	return &LUT{entries: l.entries, BytesPerEntry: l.BytesPerEntry, MaxOrder: l.MaxOrder}
+}
+
+// appendLUTKey appends one detector index to a key buffer. Both table
+// construction (lutKey) and lookups (Lookup) must encode through this
+// helper so stored and probed keys can never drift apart.
+func appendLUTKey(b []byte, d int32) []byte {
+	// varint-ish encoding; detector counts fit in 3 bytes
+	return append(b, byte(d), byte(d>>8), byte(d>>16))
 }
 
 // lutKey canonicalizes a sorted defect list.
 func lutKey(defects []int32) string {
 	b := make([]byte, 0, len(defects)*3)
 	for _, d := range defects {
-		// varint-ish encoding; detector counts fit in 3 bytes
-		b = append(b, byte(d), byte(d>>8), byte(d>>16))
+		b = appendLUTKey(b, d)
 	}
 	return string(b)
 }
@@ -133,12 +155,15 @@ func (l *LUT) Entries() int { return len(l.entries) }
 func (l *LUT) SizeBytes() int { return len(l.entries) * l.BytesPerEntry }
 
 // Lookup returns the stored correction and whether the syndrome hit.
+// The key is assembled in the decoder's reusable scratch buffer, so
+// steady-state lookups allocate nothing (see TestLUTDecodeAllocFree).
 func (l *LUT) Lookup(defects []int) (uint64, bool) {
-	d32 := make([]int32, len(defects))
-	for i, d := range defects {
-		d32[i] = int32(d)
+	b := l.keyBuf[:0]
+	for _, d := range defects {
+		b = appendLUTKey(b, int32(d))
 	}
-	obs, ok := l.entries[lutKey(d32)]
+	l.keyBuf = b
+	obs, ok := l.entries[string(b)]
 	return obs, ok
 }
 
@@ -172,7 +197,9 @@ func DefaultLatencyModel(d int) LatencyModel {
 }
 
 // Hierarchical is the two-stage decoder: a LUT backed by a slow accurate
-// decoder, with the latency model above.
+// decoder, with the latency model above. Like the LUT itself it is not
+// safe for concurrent use; per-worker instances should wrap LUT.Fork()
+// views of one shared table.
 type Hierarchical struct {
 	LUT     *LUT
 	Slow    Decoder

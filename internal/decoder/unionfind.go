@@ -10,6 +10,13 @@ import (
 //
 // A UnionFind instance is reusable across shots but not safe for
 // concurrent use; create one per goroutine.
+//
+// All per-shot working state lives in scratch retained across Decode
+// calls: frontier lists occupy one flat arena (spans per cluster root,
+// concatenated on fusion with the exact semantics of slice appends), and
+// the peeling stage runs on stamped arrays instead of maps. In steady
+// state — once the scratch has grown to the workload's high-water mark —
+// Decode performs no heap allocations (see TestUnionFindDecodeAllocFree).
 type UnionFind struct {
 	g     *Graph
 	wInt  []int32 // scaled integer edge weights (>=1)
@@ -20,7 +27,13 @@ type UnionFind struct {
 	size     []int32
 	parity   []uint8 // per root: defect parity
 	boundary []bool  // per root: cluster contains a virtual boundary node
-	frontier [][]int32
+
+	// Frontier lists (incident edge indices per cluster root) live in one
+	// flat arena: frSpan[n] addresses node n's block inside frArena. The
+	// arena is bump-allocated per decode and truncated on reset, so its
+	// capacity is reused across shots.
+	frSpan  []span
+	frArena []int32
 
 	inited  []bool
 	defect  []bool
@@ -29,6 +42,38 @@ type UnionFind struct {
 
 	stamp    []int32 // dedup stamps for active-root collection
 	stampGen int32
+
+	active []int32 // grow scratch: odd, boundaryless roots this sweep
+
+	// Fast-forward scratch: per-edge growth increments observed in the
+	// last sweep, used to jump over the unit-growth sweeps between fusion
+	// events (see grow).
+	edgeDelta    []int32
+	deltaTouched []int32
+
+	// Peeling scratch: per-node incident fully-grown edges plus BFS
+	// buffers, all stamped or truncate-reset so nothing reallocates in
+	// steady state.
+	peelAdj   [][]int32
+	peelNodes []int32
+	comp      []int32
+	order     []peelStep
+	seen      []int32
+	seenGen   int32
+}
+
+// span addresses one frontier block inside the arena: elements
+// [off, off+n), with room to grow in place up to off+cap.
+type span struct {
+	off, n, cap int32
+}
+
+// peelStep is one BFS spanning-tree entry: node plus the edge and node it
+// was discovered through.
+type peelStep struct {
+	node       int32
+	parentEdge int32
+	parentNode int32
 }
 
 // weightScale converts float weights to growth units. Larger values give
@@ -38,18 +83,21 @@ const weightScale = 4.0
 // NewUnionFind prepares a decoder for the graph.
 func NewUnionFind(g *Graph) *UnionFind {
 	d := &UnionFind{
-		g:        g,
-		wInt:     make([]int32, len(g.Edges)),
-		grown:    make([]int32, len(g.Edges)),
-		done:     make([]bool, len(g.Edges)),
-		parent:   make([]int32, g.NumNodes),
-		size:     make([]int32, g.NumNodes),
-		parity:   make([]uint8, g.NumNodes),
-		boundary: make([]bool, g.NumNodes),
-		frontier: make([][]int32, g.NumNodes),
-		inited:   make([]bool, g.NumNodes),
-		defect:   make([]bool, g.NumNodes),
-		stamp:    make([]int32, g.NumNodes),
+		g:         g,
+		wInt:      make([]int32, len(g.Edges)),
+		grown:     make([]int32, len(g.Edges)),
+		done:      make([]bool, len(g.Edges)),
+		edgeDelta: make([]int32, len(g.Edges)),
+		parent:    make([]int32, g.NumNodes),
+		size:      make([]int32, g.NumNodes),
+		parity:    make([]uint8, g.NumNodes),
+		boundary:  make([]bool, g.NumNodes),
+		frSpan:    make([]span, g.NumNodes),
+		inited:    make([]bool, g.NumNodes),
+		defect:    make([]bool, g.NumNodes),
+		stamp:     make([]int32, g.NumNodes),
+		peelAdj:   make([][]int32, g.NumNodes),
+		seen:      make([]int32, g.NumNodes),
 	}
 	for i, e := range g.Edges {
 		w := int32(math.Round(e.Weight * weightScale))
@@ -72,6 +120,40 @@ func (d *UnionFind) find(n int32) int32 {
 	return root
 }
 
+// frInit bump-allocates node n's frontier block and fills it with the
+// node's incident edges.
+func (d *UnionFind) frInit(n int32) {
+	adj := d.g.Adj[n]
+	off := int32(len(d.frArena))
+	d.frArena = append(d.frArena, adj...)
+	d.frSpan[n] = span{off: off, n: int32(len(adj)), cap: int32(len(adj))}
+}
+
+// frConcat appends rb's frontier block onto ra's, preserving element
+// order exactly as append(frontier[ra], frontier[rb]...) would: ra's
+// entries first, then rb's. Blocks that outgrow their reserved capacity
+// relocate to the arena tail with headroom, mirroring append's amortized
+// growth.
+func (d *UnionFind) frConcat(ra, rb int32) {
+	sa, sb := d.frSpan[ra], d.frSpan[rb]
+	switch {
+	case sb.n == 0:
+	case sa.cap-sa.n >= sb.n:
+		copy(d.frArena[sa.off+sa.n:], d.frArena[sb.off:sb.off+sb.n])
+		sa.n += sb.n
+	default:
+		total := sa.n + sb.n
+		capN := total + total/2
+		off := int32(len(d.frArena))
+		d.frArena = append(d.frArena, d.frArena[sa.off:sa.off+sa.n]...)
+		d.frArena = append(d.frArena, d.frArena[sb.off:sb.off+sb.n]...)
+		d.frArena = append(d.frArena, make([]int32, capN-total)...)
+		sa = span{off: off, n: total, cap: capN}
+	}
+	d.frSpan[ra] = sa
+	d.frSpan[rb] = span{}
+}
+
 // initNode lazily brings a node into the decode working set.
 func (d *UnionFind) initNode(n int32) {
 	if d.inited[n] {
@@ -82,7 +164,7 @@ func (d *UnionFind) initNode(n int32) {
 	d.size[n] = 1
 	d.parity[n] = 0
 	d.boundary[n] = d.g.IsBoundary(n)
-	d.frontier[n] = append(d.frontier[n][:0], d.g.Adj[n]...)
+	d.frInit(n)
 	d.touched = append(d.touched, n)
 }
 
@@ -101,8 +183,7 @@ func (d *UnionFind) fuse(a, b int32) {
 	d.size[ra] += d.size[rb]
 	d.parity[ra] ^= d.parity[rb]
 	d.boundary[ra] = d.boundary[ra] || d.boundary[rb]
-	d.frontier[ra] = append(d.frontier[ra], d.frontier[rb]...)
-	d.frontier[rb] = d.frontier[rb][:0]
+	d.frConcat(ra, rb)
 }
 
 // Decode returns the predicted observable-flip mask for the fired
@@ -119,17 +200,30 @@ func (d *UnionFind) Decode(defects []int) uint64 {
 	}
 
 	d.grow(defects)
-	obs := d.peel(defects)
+	obs := d.peel()
 	d.reset()
 	return obs
 }
 
 // grow runs weighted cluster growth until every cluster is neutral
 // (even parity or touching a boundary node).
+//
+// The reference dynamics grow every frontier edge of every active
+// cluster by one unit per sweep; with log-likelihood weights scaled by
+// weightScale an edge needs tens of sweeps to complete, and between two
+// fusion events every sweep is identical — the active set, the pruned
+// frontiers and the per-edge increments cannot change until a fusion
+// changes the topology. grow exploits that: after a sweep that fused
+// nothing, it computes how many more such identical sweeps would pass
+// before the first edge completes and applies their growth in one jump,
+// so the sweep count is proportional to the number of fusion events
+// rather than to the integer edge weights. The jump lands exactly on the
+// state the unit-growth dynamics would reach, so decode results are
+// bit-identical (TestUnionFindDeterministic, and the LER equivalence
+// tests in internal/mc, cover this).
 func (d *UnionFind) grow(defects []int) {
-	var active []int32
-	for iter := 0; ; iter++ {
-		active = active[:0]
+	for {
+		active := d.active[:0]
 		d.stampGen++
 		for _, n := range defects {
 			r := d.find(int32(n))
@@ -141,10 +235,13 @@ func (d *UnionFind) grow(defects []int) {
 				active = append(active, r)
 			}
 		}
+		d.active = active
 		if len(active) == 0 {
 			return
 		}
 		progress := false
+		anyFused := false
+		deltas := d.deltaTouched[:0]
 		for _, r := range active {
 			if d.find(r) != r {
 				continue // fused earlier this sweep
@@ -152,13 +249,13 @@ func (d *UnionFind) grow(defects []int) {
 			// Grow every frontier edge of this cluster by one unit. Stale
 			// entries (done, internal, or inherited from old fusions) are
 			// swap-removed. At most one fusion happens per cluster per
-			// sweep: the frontier list is written back first so the fuse
-			// can safely concatenate lists.
-			fr := d.frontier[r]
-			i := 0
+			// sweep: the span is written back first so the fuse can safely
+			// concatenate blocks.
+			s := d.frSpan[r]
+			i := int32(0)
 			fused := false
-			for i < len(fr) {
-				ei := fr[i]
+			for i < s.n {
+				ei := d.frArena[s.off+i]
 				incident := false
 				if !d.done[ei] {
 					e := d.g.Edges[ei]
@@ -172,31 +269,60 @@ func (d *UnionFind) grow(defects []int) {
 					incident = (ra == r) != (rb == r)
 				}
 				if !incident {
-					fr[i] = fr[len(fr)-1]
-					fr = fr[:len(fr)-1]
+					s.n--
+					d.frArena[s.off+i] = d.frArena[s.off+s.n]
 					continue
 				}
 				if d.grown[ei] == 0 {
 					d.tEdges = append(d.tEdges, ei)
 				}
 				d.grown[ei]++
+				if d.edgeDelta[ei] == 0 {
+					deltas = append(deltas, ei)
+				}
+				d.edgeDelta[ei]++
 				progress = true
 				if d.grown[ei] >= d.wInt[ei] {
 					e := d.g.Edges[ei]
 					d.done[ei] = true
-					fr[i] = fr[len(fr)-1]
-					fr = fr[:len(fr)-1]
-					d.frontier[r] = fr
+					s.n--
+					d.frArena[s.off+i] = d.frArena[s.off+s.n]
+					d.frSpan[r] = s
 					d.fuse(e.A, e.B)
 					fused = true
+					anyFused = true
 					break
 				}
 				i++
 			}
 			if !fused {
-				d.frontier[r] = fr
+				d.frSpan[r] = s
 			}
 		}
+		d.deltaTouched = deltas
+		if !anyFused && progress {
+			// Nothing fused: every following sweep repeats this one's
+			// increments verbatim until an edge completes. The first
+			// completion happens ceil(remaining/delta) sweeps from now;
+			// fast-forward to just before it (the completing sweep itself
+			// runs for real, preserving in-sweep fusion order).
+			k := int32(1<<31 - 1)
+			for _, ei := range deltas {
+				rem := d.wInt[ei] - d.grown[ei]
+				if ke := (rem + d.edgeDelta[ei] - 1) / d.edgeDelta[ei]; ke < k {
+					k = ke
+				}
+			}
+			if k > 1 {
+				for _, ei := range deltas {
+					d.grown[ei] += (k - 1) * d.edgeDelta[ei]
+				}
+			}
+		}
+		for _, ei := range d.deltaTouched {
+			d.edgeDelta[ei] = 0
+		}
+		d.deltaTouched = d.deltaTouched[:0]
 		if !progress {
 			// Disconnected odd cluster with an exhausted frontier; there
 			// is nothing more the decoder can do.
@@ -206,72 +332,94 @@ func (d *UnionFind) grow(defects []int) {
 }
 
 // peel extracts a correction from the grown clusters by leaf peeling on a
-// spanning forest of the fully-grown edges.
-func (d *UnionFind) peel(defects []int) uint64 {
-	// Group done edges by cluster root.
-	clusterEdges := make(map[int32][]int32)
+// spanning forest of the fully-grown edges. Each connected component is
+// rooted at its lowest-numbered boundary node (so leftover parity can
+// leave through it), else its lowest-numbered node — a canonical choice
+// that makes the correction a deterministic function of the defect set.
+func (d *UnionFind) peel() uint64 {
+	// Group fully-grown edges by incident node (tEdges order, so the
+	// construction is deterministic).
+	nodes := d.peelNodes[:0]
 	for _, ei := range d.tEdges {
 		if !d.done[ei] {
 			continue
 		}
-		r := d.find(d.g.Edges[ei].A)
-		clusterEdges[r] = append(clusterEdges[r], ei)
+		e := d.g.Edges[ei]
+		if len(d.peelAdj[e.A]) == 0 {
+			nodes = append(nodes, e.A)
+		}
+		d.peelAdj[e.A] = append(d.peelAdj[e.A], ei)
+		if len(d.peelAdj[e.B]) == 0 {
+			nodes = append(nodes, e.B)
+		}
+		d.peelAdj[e.B] = append(d.peelAdj[e.B], ei)
 	}
+	d.peelNodes = nodes
 
 	var obs uint64
-	type treeNode struct {
-		node       int32
-		parentEdge int32
-		parentNode int32
-	}
-	for _, edges := range clusterEdges {
-		// Build local adjacency.
-		adj := make(map[int32][]int32)
-		for _, ei := range edges {
-			e := d.g.Edges[ei]
-			adj[e.A] = append(adj[e.A], ei)
-			adj[e.B] = append(adj[e.B], ei)
+	d.stampGen++
+	compGen := d.stampGen
+	for _, start := range nodes {
+		if d.stamp[start] == compGen {
+			continue
 		}
-		// Root preference: a boundary node, so leftover parity can leave
-		// through it.
-		var root int32 = -1
-		for n := range adj {
-			if d.g.IsBoundary(n) {
+		// Pass 1: collect the connected component and pick its root.
+		comp := d.comp[:0]
+		comp = append(comp, start)
+		d.stamp[start] = compGen
+		root := int32(-1)
+		rootBoundary := false
+		for i := 0; i < len(comp); i++ {
+			n := comp[i]
+			if b := d.g.IsBoundary(n); b == rootBoundary {
+				if root < 0 || n < root {
+					root = n
+				}
+			} else if b {
 				root = n
-				break
+				rootBoundary = true
 			}
-		}
-		if root < 0 {
-			for n := range adj {
-				root = n
-				break
-			}
-		}
-		// BFS spanning tree.
-		order := []treeNode{{node: root, parentEdge: -1, parentNode: -1}}
-		seen := map[int32]bool{root: true}
-		for i := 0; i < len(order); i++ {
-			n := order[i].node
-			for _, ei := range adj[n] {
+			for _, ei := range d.peelAdj[n] {
 				e := d.g.Edges[ei]
 				next := e.A
 				if next == n {
 					next = e.B
 				}
-				if seen[next] {
-					continue
+				if d.stamp[next] != compGen {
+					d.stamp[next] = compGen
+					comp = append(comp, next)
 				}
-				seen[next] = true
-				order = append(order, treeNode{node: next, parentEdge: ei, parentNode: n})
 			}
 		}
+		d.comp = comp
+		// Pass 2: BFS spanning tree from the root.
+		d.seenGen++
+		order := d.order[:0]
+		order = append(order, peelStep{node: root, parentEdge: -1, parentNode: -1})
+		d.seen[root] = d.seenGen
+		for i := 0; i < len(order); i++ {
+			n := order[i].node
+			for _, ei := range d.peelAdj[n] {
+				e := d.g.Edges[ei]
+				next := e.A
+				if next == n {
+					next = e.B
+				}
+				if d.seen[next] == d.seenGen {
+					continue
+				}
+				d.seen[next] = d.seenGen
+				order = append(order, peelStep{node: next, parentEdge: ei, parentNode: n})
+			}
+		}
+		d.order = order
 		// Peel leaves towards the root.
 		for i := len(order) - 1; i > 0; i-- {
-			tn := order[i]
-			if d.defect[tn.node] {
-				d.defect[tn.node] = false
-				d.defect[tn.parentNode] = !d.defect[tn.parentNode]
-				obs ^= d.g.Edges[tn.parentEdge].Obs
+			st := order[i]
+			if d.defect[st.node] {
+				d.defect[st.node] = false
+				d.defect[st.parentNode] = !d.defect[st.parentNode]
+				obs ^= d.g.Edges[st.parentEdge].Obs
 			}
 		}
 		// A leftover defect at a boundary root exits through the
@@ -279,7 +427,9 @@ func (d *UnionFind) peel(defects []int) uint64 {
 		// simply left uncorrected.
 		d.defect[root] = false
 	}
-	_ = defects
+	for _, n := range d.peelNodes {
+		d.peelAdj[n] = d.peelAdj[n][:0]
+	}
 	return obs
 }
 
@@ -288,9 +438,10 @@ func (d *UnionFind) reset() {
 	for _, n := range d.touched {
 		d.inited[n] = false
 		d.defect[n] = false
-		d.frontier[n] = d.frontier[n][:0]
+		d.frSpan[n] = span{}
 	}
 	d.touched = d.touched[:0]
+	d.frArena = d.frArena[:0]
 	for _, ei := range d.tEdges {
 		d.grown[ei] = 0
 		d.done[ei] = false

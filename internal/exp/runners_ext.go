@@ -107,7 +107,8 @@ func ExtAblation(w io.Writer, o Options) error {
 
 	pl.Workers = o.Workers
 	// Each worker gets a private decoder instance from its row's factory;
-	// the built LUT and the decoder graph are shared read-only.
+	// the decoder graph is shared read-only, and each worker receives a
+	// Fork of the shared LUT table (lookups carry per-decoder scratch).
 	lut := decoder.BuildLUT(m, 3<<20, 8)
 	type row struct {
 		name   string
@@ -117,7 +118,7 @@ func ExtAblation(w io.Writer, o Options) error {
 		{"union-find", func() decoder.Decoder { return decoder.NewUnionFind(g) }},
 		{"exact<=14+greedy", func() decoder.Decoder { return decoder.NewExact(g) }},
 		{"lut-3MB+uf", func() decoder.Decoder {
-			return &decoder.Hierarchical{LUT: lut, Slow: decoder.NewUnionFind(g), Latency: decoder.DefaultLatencyModel(d)}
+			return &decoder.Hierarchical{LUT: lut.Fork(), Slow: decoder.NewUnionFind(g), Latency: decoder.DefaultLatencyModel(d)}
 		}},
 	}
 	fmt.Fprintf(w, "%-18s %-14s %-14s\n", "decoder", "joint LER", "single LER")

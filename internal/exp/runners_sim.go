@@ -454,14 +454,15 @@ func Fig22(w io.Writer, o Options) error {
 			rng := stats.NewRand(o.Seed + uint64(i))
 			hits, misses := 0, 0
 			total := 0.0
-			sampler := frame.NewSampler(res.Circuit)
+			sampler := frame.Compile(res.Circuit).NewSampler()
+			ext := frame.NewExtractor()
 			for done := 0; done < o.Shots; done += 64 {
 				n := o.Shots - done
 				if n > 64 {
 					n = 64
 				}
 				b := sampler.SampleBatch(rng, n)
-				b.ForEachShot(func(_ int, defects []int, _ uint64) {
+				ext.ForEachShot(b, func(_ int, defects []int, _ uint64) {
 					inWin := 0
 					for _, df := range defects {
 						if window[df] {

@@ -1,0 +1,293 @@
+package frame
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+)
+
+// randomCircuit generates a valid random stabilizer circuit exercising
+// every op type, with runs of repeated op types so compilation actually
+// fuses, plus detectors/observables over random measurement records.
+func randomCircuit(rng *rand.Rand, nq int32, ops int) *circuit.Circuit {
+	c := circuit.New()
+	all := make([]int32, nq)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	c.Reset(all...)
+	var recs []int32
+
+	someQubits := func() []int32 {
+		n := 1 + rng.IntN(int(nq))
+		out := make([]int32, 0, n)
+		for _, q := range rng.Perm(int(nq))[:n] {
+			out = append(out, int32(q))
+		}
+		return out
+	}
+	somePairs := func() []int32 {
+		perm := rng.Perm(int(nq))
+		n := 1 + rng.IntN(int(nq)/2)
+		out := make([]int32, 0, 2*n)
+		for i := 0; i < n; i++ {
+			out = append(out, int32(perm[2*i]), int32(perm[2*i+1]))
+		}
+		return out
+	}
+	someP := func() float64 {
+		switch rng.IntN(8) {
+		case 0:
+			return 1.0 // deterministic channel
+		case 1:
+			return 1e-4
+		default:
+			return 0.02 + 0.3*rng.Float64()
+		}
+	}
+
+	kind := rng.IntN(14)
+	for i := 0; i < ops; i++ {
+		// Repeat the previous op type half the time so adjacent same-type
+		// runs (the fusion case) are common.
+		if rng.IntN(2) == 0 {
+			kind = rng.IntN(14)
+		}
+		switch kind {
+		case 0:
+			c.H(someQubits()...)
+		case 1:
+			c.S(someQubits()...)
+		case 2:
+			c.X(someQubits()...)
+		case 3:
+			c.Z(someQubits()...)
+		case 4:
+			c.CNOT(somePairs()...)
+		case 5:
+			c.Reset(someQubits()...)
+		case 6:
+			recs = append(recs, c.Measure(someQubits()...)...)
+		case 7:
+			recs = append(recs, c.MeasureReset(someQubits()...)...)
+		case 8:
+			c.XError(someP(), someQubits()...)
+		case 9:
+			c.ZError(someP(), someQubits()...)
+		case 10:
+			c.Depolarize1(someP(), someQubits()...)
+		case 11:
+			c.Depolarize2(someP(), somePairs()...)
+		case 12:
+			px, py, pz := someP()/3, someP()/3, someP()/3
+			c.PauliChannel1(px, py, pz, someQubits()...)
+		case 13:
+			switch rng.IntN(3) {
+			case 0:
+				c.Tick()
+			case 1:
+				c.QubitCoords(int32(rng.IntN(int(nq))), rng.Float64(), rng.Float64())
+			case 2:
+				if len(recs) > 0 {
+					k := 1 + rng.IntN(3)
+					sel := make([]int32, 0, k)
+					for j := 0; j < k; j++ {
+						sel = append(sel, recs[rng.IntN(len(recs))])
+					}
+					if rng.IntN(2) == 0 {
+						c.Detector([]float64{0, 0, float64(i)}, sel...)
+					} else {
+						c.Observable(rng.IntN(3), sel...)
+					}
+				}
+			}
+		}
+	}
+	// Guarantee at least one measurement, detector and observable.
+	recs = append(recs, c.Measure(all...)...)
+	c.Detector(nil, recs[len(recs)-1])
+	c.Observable(0, recs[len(recs)-1])
+	return c
+}
+
+// sampleWords runs nBatches batches with the given shot counts and
+// returns copies of every Det/Obs word produced.
+func sampleWords(s *Sampler, seed uint64, shotCounts []int) (det, obs [][]uint64) {
+	rng := stats.NewRand(seed)
+	for _, n := range shotCounts {
+		b := s.SampleBatch(rng, n)
+		det = append(det, append([]uint64(nil), b.Det...))
+		obs = append(obs, append([]uint64(nil), b.Obs...))
+	}
+	return det, obs
+}
+
+// TestCompiledMatchesInterpreted is the tentpole equivalence property:
+// a compiled sampler must consume the identical RNG stream and produce
+// bit-identical Det/Obs words to the interpreting sampler, over
+// randomized circuits, seeds and partial batches.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	shotCounts := []int{64, 64, 17, 1, 63}
+	for trial := 0; trial < 30; trial++ {
+		genRng := rand.New(rand.NewPCG(uint64(trial), 99))
+		c := randomCircuit(genRng, int32(4+genRng.IntN(8)), 40+genRng.IntN(80))
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid circuit: %v", trial, err)
+		}
+		plan := Compile(c)
+		for _, seed := range []uint64{1, 7, 0xDEAD} {
+			di, oi := sampleWords(NewSampler(c), seed, shotCounts)
+			dc, oc := sampleWords(plan.NewSampler(), seed, shotCounts)
+			if !reflect.DeepEqual(di, dc) {
+				t.Fatalf("trial %d seed %d: detector words diverge between interpreted and compiled sampling", trial, seed)
+			}
+			if !reflect.DeepEqual(oi, oc) {
+				t.Fatalf("trial %d seed %d: observable words diverge between interpreted and compiled sampling", trial, seed)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesInterpretedSurface pins the equivalence on a real
+// lattice-surgery circuit, the workload the Monte Carlo layer runs.
+func TestCompiledMatchesInterpretedSurface(t *testing.T) {
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shotCounts := []int{64, 64, 64, 40}
+	di, oi := sampleWords(NewSampler(res.Circuit), 5, shotCounts)
+	dc, oc := sampleWords(Compile(res.Circuit).NewSampler(), 5, shotCounts)
+	if !reflect.DeepEqual(di, dc) || !reflect.DeepEqual(oi, oc) {
+		t.Fatal("compiled sampling diverges from interpreted sampling on a surface-code circuit")
+	}
+}
+
+// TestCompileFusesAndDrops checks the plan is actually compact: adjacent
+// same-type gate ops fuse, and annotations vanish from the stream.
+func TestCompileFusesAndDrops(t *testing.T) {
+	c := circuit.New()
+	c.Reset(0, 1, 2)
+	c.H(0)
+	c.H(1) // fuses with previous H
+	c.Tick()
+	c.H(2) // TICK is dropped and draws nothing, so this fuses across it
+	c.QubitCoords(0, 0, 0)
+	c.CNOT(0, 1)
+	c.CNOT(1, 2) // fuses
+	c.XError(0.1, 0)
+	c.XError(0.1, 1) // noise must NOT fuse
+	r := c.Measure(0, 1)
+	c.Detector(nil, r[0])
+	c.Observable(0, r[1])
+	plan := Compile(c)
+	// Expected stream: R, H(0,1,2), CX(0,1,1,2), XE, XE, M, DET, OBS = 8.
+	if plan.NumInstructions() != 8 {
+		t.Fatalf("plan has %d instructions, want 8", plan.NumInstructions())
+	}
+	if plan.FusedOps() != 3 {
+		t.Fatalf("plan fused %d ops, want 3 (two H, one CX)", plan.FusedOps())
+	}
+	if plan.SourceOps() != len(c.Ops) {
+		t.Fatalf("SourceOps %d != len(Ops) %d", plan.SourceOps(), len(c.Ops))
+	}
+	// Fused instructions must not have mutated the circuit's own slices.
+	if len(c.Ops[1].Targets) != 1 || c.Ops[1].Targets[0] != 0 {
+		t.Fatalf("compilation mutated circuit op targets: %v", c.Ops[1].Targets)
+	}
+}
+
+// TestExtractorMatchesDense is the extraction equivalence property: the
+// sparse transpose-based extractor must visit the identical
+// (shot, defects, obsMask) stream as the dense scan, over randomized
+// circuits and batch sizes.
+func TestExtractorMatchesDense(t *testing.T) {
+	type shotView struct {
+		shot    int
+		defects []int
+		mask    uint64
+	}
+	ext := NewExtractor()
+	for trial := 0; trial < 30; trial++ {
+		genRng := rand.New(rand.NewPCG(uint64(trial), 7))
+		c := randomCircuit(genRng, int32(4+genRng.IntN(6)), 30+genRng.IntN(60))
+		s := NewSampler(c)
+		rng := stats.NewRand(uint64(trial) + 1)
+		for _, shots := range []int{64, 31, 1} {
+			b := s.SampleBatch(rng, shots)
+			var dense, sparse []shotView
+			b.ForEachShot(func(shot int, defects []int, mask uint64) {
+				dense = append(dense, shotView{shot, append([]int(nil), defects...), mask})
+			})
+			ext.ForEachShot(b, func(shot int, defects []int, mask uint64) {
+				sparse = append(sparse, shotView{shot, append([]int(nil), defects...), mask})
+			})
+			if !reflect.DeepEqual(dense, sparse) {
+				t.Fatalf("trial %d shots %d: sparse extraction diverges from dense scan", trial, shots)
+			}
+		}
+	}
+}
+
+// TestForEachShotScratchReuse verifies the dense iterator reuses the
+// sampler's hoisted defects buffer across batches (the per-call
+// allocation fix) without corrupting results.
+func TestForEachShotScratchReuse(t *testing.T) {
+	c := circuit.New()
+	c.Reset(0)
+	c.XError(1.0, 0)
+	rec := c.Measure(0)
+	c.Detector(nil, rec[0])
+	s := NewSampler(c)
+	rng := stats.NewRand(3)
+	b := s.SampleBatch(rng, 64)
+	var first []int
+	b.ForEachShot(func(_ int, defects []int, _ uint64) {
+		if first == nil {
+			first = defects
+		}
+	})
+	b2 := s.SampleBatch(rng, 64)
+	b2.ForEachShot(func(_ int, defects []int, _ uint64) {
+		if len(defects) != 1 || defects[0] != 0 {
+			t.Fatalf("reused-scratch batch: defects %v", defects)
+		}
+	})
+	// Hand-built batches (no sampler scratch) must still work.
+	hb := Batch{Shots: 2, Det: []uint64{3}, Obs: []uint64{1}}
+	count := 0
+	hb.ForEachShot(func(shot int, defects []int, mask uint64) {
+		count++
+		if len(defects) != 1 || defects[0] != 0 {
+			t.Fatalf("hand-built batch shot %d: defects %v", shot, defects)
+		}
+	})
+	if count != 2 {
+		t.Fatalf("hand-built batch visited %d shots, want 2", count)
+	}
+}
+
+// TestBatchMaskHelpers covers the valid-shot mask and the zero-syndrome
+// batch predicate, including garbage bits above the shot count.
+func TestBatchMaskHelpers(t *testing.T) {
+	b := Batch{Shots: 3, Det: []uint64{0xF8}, Obs: nil} // fires only above bit 2
+	if b.Mask() != 0x7 {
+		t.Fatalf("mask %x, want 0x7", b.Mask())
+	}
+	if b.AnyDetectorFired() {
+		t.Fatal("garbage bits above Shots must not count as fires")
+	}
+	b.Det[0] |= 0x4
+	if !b.AnyDetectorFired() {
+		t.Fatal("fire in a valid lane not detected")
+	}
+	full := Batch{Shots: 64, Det: []uint64{1 << 63}}
+	if !full.AnyDetectorFired() {
+		t.Fatal("bit 63 of a full batch is valid")
+	}
+}

@@ -13,6 +13,12 @@
 // measurements; this inserts elements of the instantaneous stabilizer
 // group, which cannot flip any deterministic parity but correctly
 // randomizes non-deterministic records.
+//
+// Samplers come in two flavors with bit-identical output: NewSampler
+// interprets circuit.Ops directly, and Plan.NewSampler executes a
+// compiled instruction stream (see Compile) that fuses gate layers and
+// precomputes noise constants — the hot-path form used by the Monte
+// Carlo layer.
 package frame
 
 import (
@@ -25,7 +31,8 @@ import (
 
 // Sampler samples detector and observable flips for a fixed circuit.
 type Sampler struct {
-	c *circuit.Circuit
+	c    *circuit.Circuit // interpreted source (nil for compiled samplers)
+	plan *Plan            // compiled instruction stream (nil when interpreting)
 
 	numQubits    int
 	numMeas      int
@@ -37,11 +44,16 @@ type Sampler struct {
 	rec       []uint64 // measurement-flip word per record
 	det       []uint64 // detector parity word per detector
 	obs       []uint64 // observable parity word per observable
-	detCursor int      // next detector slot while executing a batch
+	detCursor int      // next detector slot while interpreting a batch
+
+	// shotDefects backs Batch.ForEachShot's per-shot defect list, so
+	// repeated batches reuse one buffer instead of allocating per call.
+	shotDefects []int
 }
 
-// NewSampler prepares a sampler for the circuit. The circuit must be
-// valid (see circuit.Validate).
+// NewSampler prepares an interpreting sampler for the circuit. The
+// circuit must be valid (see circuit.Validate). For hot loops, prefer
+// Compile(c).NewSampler(), which produces bit-identical samples faster.
 func NewSampler(c *circuit.Circuit) *Sampler {
 	return &Sampler{
 		c:            c,
@@ -66,17 +78,49 @@ func (s *Sampler) NumObservables() int { return s.numObs }
 // Batch holds the detector/observable flip words for up to 64 shots.
 type Batch struct {
 	Shots int // number of valid shots (bits 0..Shots-1)
-	// Det[d] has bit i set iff detector d fired in shot i.
+	// Det[d] has bit i set iff detector d fired in shot i. Bits at and
+	// above Shots are garbage (frame randomization touches all 64 lanes);
+	// mask with Mask() before counting.
 	Det []uint64
-	// Obs[o] has bit i set iff observable o flipped in shot i.
+	// Obs[o] has bit i set iff observable o flipped in shot i (same
+	// garbage caveat as Det).
 	Obs []uint64
+
+	// denseScratch points at sampler-owned storage for ForEachShot's
+	// defect list; nil for hand-built batches, which allocate locally.
+	denseScratch *[]int
+}
+
+// Mask returns the valid-shot bitmask: bits 0..Shots-1 set.
+func (b Batch) Mask() uint64 { return batchMask(b.Shots) }
+
+// AnyDetectorFired reports whether any valid shot fired any detector.
+// A false result means every shot in the batch has an empty syndrome,
+// enabling the Monte Carlo layer's zero-syndrome fast path.
+func (b Batch) AnyDetectorFired() bool {
+	m := b.Mask()
+	for _, w := range b.Det {
+		if w&m != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ForEachShot invokes fn once per shot with the sparse list of fired
 // detectors and a bitmask of flipped observables (observable o → bit o).
 // The defects slice is reused between invocations; copy it to retain.
+//
+// This dense form scans every detector word per shot — O(64·detectors)
+// per batch. Extractor.ForEachShot visits the identical (shot, defects,
+// obsMask) stream in O(detectors + fires); prefer it in hot loops.
 func (b *Batch) ForEachShot(fn func(shot int, defects []int, obsMask uint64)) {
-	defects := make([]int, 0, 64)
+	var defects []int
+	if b.denseScratch != nil {
+		defects = (*b.denseScratch)[:0]
+	} else {
+		defects = make([]int, 0, 64)
+	}
 	for i := 0; i < b.Shots; i++ {
 		defects = defects[:0]
 		bit := uint64(1) << uint(i)
@@ -92,6 +136,10 @@ func (b *Batch) ForEachShot(fn func(shot int, defects []int, obsMask uint64)) {
 			}
 		}
 		fn(i, defects, mask)
+	}
+	if b.denseScratch != nil {
+		// Hand any capacity growth back to the sampler for the next batch.
+		*b.denseScratch = defects[:0]
 	}
 }
 
@@ -112,6 +160,17 @@ func (s *Sampler) SampleBatch(rng *rand.Rand, shots int) Batch {
 	for i := range s.obs {
 		s.obs[i] = 0
 	}
+	if s.plan != nil {
+		s.runPlan(rng, shots)
+	} else {
+		s.runOps(rng, shots)
+	}
+	return Batch{Shots: shots, Det: s.det, Obs: s.obs, denseScratch: &s.shotDefects}
+}
+
+// runOps interprets circuit.Ops directly (the reference execution path;
+// runPlan in compile.go is the equivalent compiled path).
+func (s *Sampler) runOps(rng *rand.Rand, shots int) {
 	measured := 0
 	for _, op := range s.c.Ops {
 		switch op.Type {
@@ -151,15 +210,21 @@ func (s *Sampler) SampleBatch(rng *rand.Rand, shots int) Batch {
 				s.z[q] = rng.Uint64()
 			}
 		case circuit.OpXError:
-			s.sampleSingles(rng, op, shots, pauliX)
+			p := op.Args[0]
+			s.sampleSingles(rng, op.Targets, p, invLogFor(p), shots, pauliX)
 		case circuit.OpZError:
-			s.sampleSingles(rng, op, shots, pauliZ)
+			p := op.Args[0]
+			s.sampleSingles(rng, op.Targets, p, invLogFor(p), shots, pauliZ)
 		case circuit.OpDepolarize1:
-			s.sampleDepolarize1(rng, op, shots)
+			p := op.Args[0]
+			s.sampleDepolarize1(rng, op.Targets, p, invLogFor(p), shots)
 		case circuit.OpDepolarize2:
-			s.sampleDepolarize2(rng, op, shots)
+			p := op.Args[0]
+			s.sampleDepolarize2(rng, op.Targets, p, invLogFor(p), shots)
 		case circuit.OpPauliChannel1:
-			s.samplePauliChannel1(rng, op, shots)
+			px, py, pz := op.Args[0], op.Args[1], op.Args[2]
+			pt := px + py + pz
+			s.samplePauliChannel1(rng, op.Targets, px, py, pz, pt, invLogFor(pt), shots)
 		case circuit.OpDetector:
 			var w uint64
 			for _, r := range op.Records {
@@ -178,7 +243,6 @@ func (s *Sampler) SampleBatch(rng *rand.Rand, shots int) Batch {
 		}
 	}
 	s.detCursor = 0
-	return Batch{Shots: shots, Det: s.det, Obs: s.obs}
 }
 
 type pauliKind uint8
@@ -189,12 +253,11 @@ const (
 )
 
 // sampleSingles applies independent single-Pauli errors of the given kind
-// with probability op.Args[0] across targets × shots.
-func (s *Sampler) sampleSingles(rng *rand.Rand, op circuit.Op, shots int, kind pauliKind) {
-	p := op.Args[0]
-	total := len(op.Targets) * shots
-	forEachFlip(rng, p, total, func(bit int) {
-		q := op.Targets[bit/shots]
+// with probability p across targets × shots.
+func (s *Sampler) sampleSingles(rng *rand.Rand, targets []int32, p, invLog float64, shots int, kind pauliKind) {
+	total := len(targets) * shots
+	forEachFlipInv(rng, p, invLog, total, func(bit int) {
+		q := targets[bit/shots]
 		shot := uint(bit % shots)
 		if kind == pauliX {
 			s.x[q] ^= 1 << shot
@@ -204,11 +267,10 @@ func (s *Sampler) sampleSingles(rng *rand.Rand, op circuit.Op, shots int, kind p
 	})
 }
 
-func (s *Sampler) sampleDepolarize1(rng *rand.Rand, op circuit.Op, shots int) {
-	p := op.Args[0]
-	total := len(op.Targets) * shots
-	forEachFlip(rng, p, total, func(bit int) {
-		q := op.Targets[bit/shots]
+func (s *Sampler) sampleDepolarize1(rng *rand.Rand, targets []int32, p, invLog float64, shots int) {
+	total := len(targets) * shots
+	forEachFlipInv(rng, p, invLog, total, func(bit int) {
+		q := targets[bit/shots]
 		shot := uint(bit % shots)
 		switch rng.IntN(3) {
 		case 0:
@@ -222,30 +284,27 @@ func (s *Sampler) sampleDepolarize1(rng *rand.Rand, op circuit.Op, shots int) {
 	})
 }
 
-func (s *Sampler) sampleDepolarize2(rng *rand.Rand, op circuit.Op, shots int) {
-	p := op.Args[0]
-	pairs := len(op.Targets) / 2
+func (s *Sampler) sampleDepolarize2(rng *rand.Rand, targets []int32, p, invLog float64, shots int) {
+	pairs := len(targets) / 2
 	total := pairs * shots
-	forEachFlip(rng, p, total, func(bit int) {
+	forEachFlipInv(rng, p, invLog, total, func(bit int) {
 		pair := bit / shots
 		shot := uint(bit % shots)
-		a := op.Targets[2*pair]
-		b := op.Targets[2*pair+1]
+		a := targets[2*pair]
+		b := targets[2*pair+1]
 		k := 1 + rng.IntN(15)
 		applyPacked(s, a, k%4, shot)
 		applyPacked(s, b, k/4, shot)
 	})
 }
 
-func (s *Sampler) samplePauliChannel1(rng *rand.Rand, op circuit.Op, shots int) {
-	px, py, pz := op.Args[0], op.Args[1], op.Args[2]
-	pt := px + py + pz
+func (s *Sampler) samplePauliChannel1(rng *rand.Rand, targets []int32, px, py, pz, pt, invLog float64, shots int) {
 	if pt <= 0 {
 		return
 	}
-	total := len(op.Targets) * shots
-	forEachFlip(rng, pt, total, func(bit int) {
-		q := op.Targets[bit/shots]
+	total := len(targets) * shots
+	forEachFlipInv(rng, pt, invLog, total, func(bit int) {
+		q := targets[bit/shots]
 		shot := uint(bit % shots)
 		u := rng.Float64() * pt
 		switch {
@@ -272,10 +331,27 @@ func applyPacked(s *Sampler, q int32, pauli int, shot uint) {
 	}
 }
 
+// invLogFor returns the geometric-skipping constant 1/log1p(-p) for
+// probabilities in (0,1), and 0 for the degenerate cases forEachFlipInv
+// handles before using it.
+func invLogFor(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return 1 / math.Log1p(-p)
+}
+
 // forEachFlip visits each of nbits Bernoulli(p) successes using geometric
 // skipping, so the cost is proportional to the number of events rather
 // than the number of trials.
 func forEachFlip(rng *rand.Rand, p float64, nbits int, fn func(bit int)) {
+	forEachFlipInv(rng, p, invLogFor(p), nbits, fn)
+}
+
+// forEachFlipInv is forEachFlip with the 1/log1p(-p) constant supplied by
+// the caller, so compiled plans pay for it once per circuit instead of
+// once per (op, batch).
+func forEachFlipInv(rng *rand.Rand, p, invLog float64, nbits int, fn func(bit int)) {
 	if p <= 0 || nbits == 0 {
 		return
 	}
@@ -285,7 +361,6 @@ func forEachFlip(rng *rand.Rand, p float64, nbits int, fn func(bit int)) {
 		}
 		return
 	}
-	invLog := 1 / math.Log1p(-p)
 	pos := 0
 	for {
 		u := rng.Float64()

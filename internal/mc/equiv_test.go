@@ -1,0 +1,95 @@
+package mc
+
+// Equivalence tests for the compiled hot path (DESIGN.md §9): every
+// public Monte Carlo entry point must return exactly the same values on
+// the compiled sampler + sparse extraction + zero-syndrome fast paths as
+// on the interpreted dense path, for fixed (circuit, shots, seed,
+// workers). This witnesses the PR-3 acceptance criterion that the
+// optimization does not move a single bit of any result.
+
+import (
+	"reflect"
+	"testing"
+
+	"latticesim/internal/decoder"
+	"latticesim/internal/hardware"
+	"latticesim/internal/surface"
+)
+
+// interpretedClone returns a copy of the pipeline forced onto the
+// uncompiled dense path.
+func interpretedClone(p *Pipeline) *Pipeline {
+	q := *p
+	q.Plan = nil
+	q.interpret = true
+	return &q
+}
+
+func TestCompiledPipelineMatchesInterpreted(t *testing.T) {
+	const shots, seed = 10000, 42
+	for _, pp := range []float64{1e-3, 1e-4} {
+		res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: pp}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := NewPipeline(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Plan == nil {
+			t.Fatal("NewPipeline must carry a compiled plan")
+		}
+		ip := interpretedClone(pl)
+		for _, workers := range []int{1, 4} {
+			pl.Workers, ip.Workers = workers, workers
+			if c, i := pl.Run(shots, seed), ip.Run(shots, seed); !reflect.DeepEqual(c, i) {
+				t.Fatalf("p=%g workers=%d: Run compiled %+v != interpreted %+v", pp, workers, c, i)
+			}
+			if c, i := pl.RunProfile(shots, seed, surface.ObsJoint), ip.RunProfile(shots, seed, surface.ObsJoint); !reflect.DeepEqual(c, i) {
+				t.Fatalf("p=%g workers=%d: RunProfile diverges between compiled and interpreted paths", pp, workers)
+			}
+			if c, i := pl.RoundWeights(shots, seed), ip.RoundWeights(shots, seed); !reflect.DeepEqual(c, i) {
+				t.Fatalf("p=%g workers=%d: RoundWeights diverges between compiled and interpreted paths", pp, workers)
+			}
+		}
+	}
+}
+
+// TestCompiledPipelineMatchesInterpretedHierarchical runs the same
+// equivalence through RunWithDecoders with a hierarchical decoder — a
+// decoder that does NOT qualify for the zero-syndrome fast path — so the
+// general per-shot loop is exercised on both paths, and LUT forks are
+// exercised across workers.
+func TestCompiledPipelineMatchesInterpretedHierarchical(t *testing.T) {
+	const shots, seed = 6000, 9
+	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := interpretedClone(pl)
+	lut := decoder.BuildLUT(pl.Model, 1<<16, 8)
+	newDec := func() decoder.Decoder {
+		return &decoder.Hierarchical{LUT: lut.Fork(), Slow: decoder.NewUnionFind(pl.Graph), Latency: decoder.DefaultLatencyModel(3)}
+	}
+	pl.Workers, ip.Workers = 4, 4
+	c := pl.RunWithDecoders(newDec, shots, seed)
+	i := ip.RunWithDecoders(newDec, shots, seed)
+	if !reflect.DeepEqual(c, i) {
+		t.Fatalf("RunWithDecoders(hierarchical): compiled %+v != interpreted %+v", c, i)
+	}
+}
+
+// TestHandBuiltPipelineCompilesOnDemand: pipelines assembled by hand
+// (nil Plan) still run the compiled path, identically.
+func TestHandBuiltPipelineCompilesOnDemand(t *testing.T) {
+	const shots, seed = 5000, 3
+	pl := buildTestPipeline(t, 3)
+	bare := &Pipeline{Circuit: pl.Circuit, Model: pl.Model, Graph: pl.Graph} // no Plan
+	if got, want := bare.Run(shots, seed), pl.Run(shots, seed); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil-Plan pipeline %+v != compiled pipeline %+v", got, want)
+	}
+}

@@ -10,6 +10,12 @@
 // split into 4096-shot shards with per-shard RNG streams keyed on
 // (seed, shard index); shard tallies are folded in shard order, so
 // Pipeline.Run output is a pure function of (circuit, shots, seed).
+//
+// The inner loop runs on the compiled hot path (DESIGN.md §9): workers
+// sample through a shared frame.Plan, extract syndromes sparsely with a
+// per-worker frame.Extractor, and skip decoding entirely for batches in
+// which no detector fired. All of it is bit-identical to the interpreted
+// dense path.
 package mc
 
 import (
@@ -72,6 +78,13 @@ type Pipeline struct {
 	Model   *dem.Model
 	Graph   *decoder.Graph
 
+	// Plan is the compiled sampler execution plan for Circuit. NewPipeline
+	// fills it; the Run* entry points compile one per run when it is nil
+	// (hand-built pipelines), so callers that loop should populate it —
+	// or go through NewPipeline — to compile exactly once. The plan is
+	// immutable and shared by every worker.
+	Plan *frame.Plan
+
 	// Workers is the Monte Carlo worker-pool size used by Run,
 	// RunWithDecoders, RoundWeights and RunProfile. Zero (the default)
 	// selects runtime.GOMAXPROCS(0). Results are bit-identical for every
@@ -79,31 +92,53 @@ type Pipeline struct {
 	// (seed, shard index), and shard tallies merge commutatively (see
 	// parallel.go and DESIGN.md §5).
 	Workers int
+
+	// interpret forces the uncompiled circuit.Ops sampler path. Compiled
+	// execution is bit-identical to interpretation, so this exists only
+	// for the equivalence tests that prove it.
+	interpret bool
 }
 
-// NewPipeline builds the full decode pipeline for a circuit.
+// NewPipeline builds the full decode pipeline for a circuit, including
+// the compiled sampler plan shared by all workers.
 func NewPipeline(c *circuit.Circuit) (*Pipeline, error) {
 	m := dem.FromCircuit(c)
 	g := decoder.BuildGraph(m)
 	if err := g.CheckMatchable(); err != nil {
 		return nil, fmt.Errorf("mc: decoder graph: %w", err)
 	}
-	return &Pipeline{Circuit: c, Model: m, Graph: g}, nil
+	return &Pipeline{Circuit: c, Model: m, Graph: g, Plan: frame.Compile(c)}, nil
 }
 
-// lerState is the per-worker state of a decode run: a private sampler
-// and a private decoder, since neither is safe for concurrent use.
+// samplerFactory returns a constructor for per-worker samplers. The
+// compiled plan is resolved once per run — from p.Plan when present,
+// otherwise compiled on the spot — and shared read-only by every worker.
+func (p *Pipeline) samplerFactory() func() *frame.Sampler {
+	if p.interpret {
+		return func() *frame.Sampler { return frame.NewSampler(p.Circuit) }
+	}
+	plan := p.Plan
+	if plan == nil {
+		plan = frame.Compile(p.Circuit)
+	}
+	return func() *frame.Sampler { return plan.NewSampler() }
+}
+
+// lerState is the per-worker state of a decode run: a private sampler,
+// extractor and decoder, since none of them is safe for concurrent use.
 type lerState struct {
 	sampler *frame.Sampler
+	ext     *frame.Extractor
 	dec     decoder.Decoder
 }
 
 // runLER shards the shot budget and decodes it on the worker pool, with
 // one decoder per worker supplied by newDec.
 func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
+	newSampler := p.samplerFactory()
 	parts := runShards(shardPlan(shots), workers,
 		func() lerState {
-			return lerState{sampler: frame.NewSampler(p.Circuit), dec: newDec()}
+			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
 		},
 		func(st lerState, sh shard) LERResult {
 			return p.runShardLER(st, sh, seed)
@@ -116,18 +151,39 @@ func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() dec
 }
 
 // runShardLER samples and decodes one shard with its own RNG stream.
+//
+// Two fast paths keep the per-shot cost proportional to the syndrome
+// weight when the decoder declares empty syndromes trivial (see
+// decoder.EmptySyndromeFree): batches in which no detector fired at all
+// are tallied with popcounts over the observable words — the decoder
+// would predict 0 for every shot, so a shot errs iff its observable bit
+// flipped — and within mixed batches, clean shots skip the Decode call.
+// Both produce exactly the tallies of the general loop.
 func (p *Pipeline) runShardLER(st lerState, sh shard, seed uint64) LERResult {
 	rng := stats.NewRand(shardSeed(seed, sh.index))
 	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	trivialEmpty := decoder.EmptySyndromeFree(st.dec)
 	for done := 0; done < sh.shots; {
 		n := sh.shots - done
 		if n > 64 {
 			n = 64
 		}
 		b := st.sampler.SampleBatch(rng, n)
-		b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+		if trivialEmpty && !b.AnyDetectorFired() {
+			mask := b.Mask()
+			for o, w := range b.Obs {
+				res.Errors[o] += bits.OnesCount64(w & mask)
+			}
+			done += n
+			res.Shots += n
+			continue
+		}
+		st.ext.ForEachShot(b, func(_ int, defects []int, obsMask uint64) {
 			res.DetectorFires += len(defects)
-			pred := st.dec.Decode(defects)
+			var pred uint64
+			if len(defects) > 0 || !trivialEmpty {
+				pred = st.dec.Decode(defects)
+			}
 			miss := pred ^ obsMask
 			for miss != 0 {
 				o := bits.TrailingZeros64(miss)
@@ -175,8 +231,9 @@ func (p *Pipeline) RoundWeights(shots int, seed uint64) map[int]float64 {
 	for i, d := range dets {
 		roundOf[i] = d.Round()
 	}
+	newSampler := p.samplerFactory()
 	parts := runShards(shardPlan(shots), p.Workers,
-		func() *frame.Sampler { return frame.NewSampler(p.Circuit) },
+		newSampler,
 		func(s *frame.Sampler, sh shard) []int {
 			counts, _ := s.CountDetectorFires(stats.NewRand(shardSeed(seed, sh.index)), sh.shots)
 			return counts
@@ -204,12 +261,14 @@ type WeightBin struct {
 // observable obs by total syndrome Hamming weight (Fig. 7(a)).
 func (p *Pipeline) RunProfile(shots int, seed uint64, obs int) map[int]*WeightBin {
 	obsBit := uint64(1) << uint(obs)
+	newSampler := p.samplerFactory()
 	parts := runShards(shardPlan(shots), p.Workers,
 		func() lerState {
-			return lerState{sampler: frame.NewSampler(p.Circuit), dec: decoder.NewUnionFind(p.Graph)}
+			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: decoder.NewUnionFind(p.Graph)}
 		},
 		func(st lerState, sh shard) map[int]*WeightBin {
 			bins := make(map[int]*WeightBin)
+			trivialEmpty := decoder.EmptySyndromeFree(st.dec)
 			rng := stats.NewRand(shardSeed(seed, sh.index))
 			for done := 0; done < sh.shots; {
 				n := sh.shots - done
@@ -217,14 +276,34 @@ func (p *Pipeline) RunProfile(shots int, seed uint64, obs int) map[int]*WeightBi
 					n = 64
 				}
 				b := st.sampler.SampleBatch(rng, n)
-				b.ForEachShot(func(_ int, defects []int, obsMask uint64) {
+				if trivialEmpty && !b.AnyDetectorFired() {
+					// Whole batch has weight-0 syndromes: the decoder
+					// predicts 0, so a shot errs iff its observable bit is
+					// set.
+					bin := bins[0]
+					if bin == nil {
+						bin = &WeightBin{}
+						bins[0] = bin
+					}
+					bin.Shots += n
+					if obs < len(b.Obs) {
+						bin.Errors += bits.OnesCount64(b.Obs[obs] & b.Mask())
+					}
+					done += n
+					continue
+				}
+				st.ext.ForEachShot(b, func(_ int, defects []int, obsMask uint64) {
 					bin := bins[len(defects)]
 					if bin == nil {
 						bin = &WeightBin{}
 						bins[len(defects)] = bin
 					}
 					bin.Shots++
-					if (st.dec.Decode(defects)^obsMask)&obsBit != 0 {
+					var pred uint64
+					if len(defects) > 0 || !trivialEmpty {
+						pred = st.dec.Decode(defects)
+					}
+					if (pred^obsMask)&obsBit != 0 {
 						bin.Errors++
 					}
 				})

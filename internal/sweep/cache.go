@@ -10,7 +10,10 @@ import (
 
 // Artifact is everything expensive a point needs that depends only on its
 // merge spec: the generated circuit with its layout metadata, and the
-// pipeline bundling the extracted detector error model and decoder graph.
+// pipeline bundling the extracted detector error model, decoder graph and
+// compiled sampler plan (mc.NewPipeline compiles the plan, so cache hits
+// also skip sampler compilation — every point sharing a spec runs off one
+// immutable frame.Plan).
 type Artifact struct {
 	Build    *surface.MergeResult
 	Pipeline *mc.Pipeline

@@ -26,6 +26,7 @@ import (
 	"latticesim/internal/decoder"
 	"latticesim/internal/dem"
 	"latticesim/internal/exp"
+	"latticesim/internal/frame"
 	"latticesim/internal/hardware"
 	"latticesim/internal/microarch"
 	"latticesim/internal/surface"
@@ -126,7 +127,9 @@ type (
 	// Pipeline bundles sampler, detector error model and decoder. Its
 	// Monte Carlo entry points shard shots across Pipeline.Workers
 	// goroutines (default: all CPUs) with bit-identical results for any
-	// worker count; see DESIGN.md §5.
+	// worker count; see DESIGN.md §5. The inner loop executes a compiled
+	// sampler plan with sparse syndrome extraction and zero-syndrome
+	// decode skipping (DESIGN.md §9), bit-identical to interpretation.
 	Pipeline = exp.Pipeline
 	// LERResult reports logical error statistics.
 	LERResult = exp.LERResult
@@ -134,10 +137,23 @@ type (
 	DetectorErrorModel = dem.Model
 	// Decoder predicts observable flips from fired detectors.
 	Decoder = decoder.Decoder
+	// SamplerPlan is a compiled, immutable sampler execution plan: gate
+	// layers fused, noise constants precomputed, annotations dropped.
+	// Mint per-goroutine samplers from one shared plan with NewSampler.
+	SamplerPlan = frame.Plan
+	// FrameSampler samples detector/observable flips 64 shots at a time.
+	FrameSampler = frame.Sampler
 )
 
-// NewPipeline builds the sample→DEM→decode pipeline for a circuit.
+// NewPipeline builds the sample→DEM→decode pipeline for a circuit,
+// including its compiled sampler plan.
 func NewPipeline(c *Circuit) (*Pipeline, error) { return exp.NewPipeline(c) }
+
+// CompileSampler lowers a circuit into a compiled sampler plan. The plan
+// produces bit-identical samples to direct interpretation of the circuit
+// and is safe to share across goroutines (each NewSampler owns private
+// scratch).
+func CompileSampler(c *Circuit) *SamplerPlan { return frame.Compile(c) }
 
 // ExtractDEM computes the detector error model of a circuit.
 func ExtractDEM(c *Circuit) *DetectorErrorModel { return dem.FromCircuit(c) }
