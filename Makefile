@@ -16,7 +16,7 @@ COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_JSON ?= BENCH_pr3.json
 
-.PHONY: build test race bench bench-json
+.PHONY: build test race bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,12 @@ bench:
 # baseline embedded for before/after comparison.
 bench-json: bench
 	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -baseline bench_baseline_pr3.txt -out $(BENCH_JSON)
+
+# bench-compare is the benchmark-regression gate CI runs: rerun the
+# suite and fail when any shared benchmark's shots/s dropped more than
+# TOLERANCE against the committed BASELINE_JSON (see README
+# "Contributing" for how to refresh the baseline).
+BASELINE_JSON ?= BENCH_pr3.json
+TOLERANCE ?= 0.30
+bench-compare: bench
+	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -compare $(BASELINE_JSON) -tolerance $(TOLERANCE) -out /dev/null

@@ -9,10 +9,18 @@
 // optimization — is parsed into a parallel section so the JSON document
 // carries its own before/after comparison.
 //
+// The -compare mode is the CI benchmark-regression gate: it diffs the
+// current run's shots/s throughput against a previously committed
+// BENCH_*.json document and exits nonzero when any benchmark shared by
+// both runs regressed by more than -tolerance (a fraction: 0.30 fails
+// on a >30% drop). Benchmarks present on only one side are reported but
+// never fail the gate, so adding or retiring benchmarks cannot break CI.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_pr3.json
 //	benchjson -in bench.txt -baseline bench_baseline_pr3.txt -out BENCH_pr3.json
+//	benchjson -in bench.txt -compare BENCH_pr3.json -tolerance 0.30
 package main
 
 import (
@@ -48,6 +56,53 @@ type Doc struct {
 }
 
 var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
+
+// shotsMetric is the throughput metric the -compare gate tracks; it is
+// the repository's cross-PR performance currency (Makefile bench,
+// DESIGN.md §9).
+const shotsMetric = "shots/s"
+
+// comparison is the verdict for one benchmark name across two suites.
+type comparison struct {
+	Name     string
+	Old, New float64 // shots/s; 0 when the side lacks the metric
+	// Regressed is true when New dropped below Old·(1−tolerance).
+	Regressed bool
+}
+
+// compareSuites diffs the shots/s metrics of two suites. Benchmarks are
+// matched by name; names missing a shots/s metric on either side —
+// retired, newly added, or throughput-less — are listed with a zero
+// value for that side and never regress (the gate only judges
+// benchmarks both runs measured).
+func compareSuites(old, cur Suite, tolerance float64) (rows []comparison, regressions int) {
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	inOld := make(map[string]bool, len(old.Benchmarks))
+	for _, ob := range old.Benchmarks {
+		inOld[ob.Name] = true
+		row := comparison{Name: ob.Name, Old: ob.Metrics[shotsMetric]}
+		if nb, ok := curBy[ob.Name]; ok {
+			row.New = nb.Metrics[shotsMetric]
+		}
+		if row.Old > 0 && row.New > 0 && row.New < row.Old*(1-tolerance) {
+			row.Regressed = true
+			regressions++
+		}
+		rows = append(rows, row)
+	}
+	// Benchmarks only the new run has are shown (so a maintainer can see
+	// an added benchmark was picked up) but can't regress: there is no
+	// baseline to judge them against.
+	for _, nb := range cur.Benchmarks {
+		if !inOld[nb.Name] {
+			rows = append(rows, comparison{Name: nb.Name, New: nb.Metrics[shotsMetric]})
+		}
+	}
+	return rows, regressions
+}
 
 // trimProcSuffix strips the trailing -GOMAXPROCS from a benchmark name
 // ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar").
@@ -116,11 +171,26 @@ func parseFile(path string) (Suite, error) {
 	return parseSuite(f)
 }
 
+// loadDoc reads a previously emitted BENCH_*.json document.
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
 func main() {
 	in := flag.String("in", "-", "bench output to convert ('-' for stdin)")
 	baseline := flag.String("baseline", "", "optional pre-optimization bench output for the before/after record")
-	out := flag.String("out", "-", "output JSON path ('-' for stdout)")
+	out := flag.String("out", "-", "output JSON path ('-' for stdout; ignored with -compare unless set explicitly)")
 	note := flag.String("note", "", "free-form note embedded in the document")
+	compare := flag.String("compare", "", "committed BENCH_*.json to gate against; exits 1 on a shots/s regression")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional shots/s drop before -compare fails (0.30 = 30%)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -142,6 +212,40 @@ func main() {
 			die(err)
 		}
 		doc.Baseline = &base
+	}
+
+	if *compare != "" {
+		old, err := loadDoc(*compare)
+		if err != nil {
+			die(err)
+		}
+		if *tolerance < 0 || *tolerance >= 1 {
+			die(fmt.Errorf("tolerance %v out of range [0, 1)", *tolerance))
+		}
+		rows, regressions := compareSuites(old.Current, cur, *tolerance)
+		fmt.Printf("benchjson: comparing shots/s against %s (tolerance %.0f%%)\n", *compare, *tolerance*100)
+		fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old shots/s", "new shots/s", "ratio")
+		for _, r := range rows {
+			status := ""
+			switch {
+			case r.Regressed:
+				status = "  REGRESSED"
+			case r.Old == 0 || r.New == 0:
+				status = "  (not in both runs, ignored)"
+			}
+			ratio := "-"
+			if r.Old > 0 && r.New > 0 {
+				ratio = fmt.Sprintf("%.2f", r.New/r.Old)
+			}
+			fmt.Printf("%-50s %14.0f %14.0f %8s%s\n", r.Name, r.Old, r.New, ratio, status)
+		}
+		if regressions > 0 {
+			die(fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, *tolerance*100))
+		}
+		fmt.Println("benchjson: no regressions")
+		if *out == "-" {
+			return // comparison already wrote to stdout; don't mix in JSON
+		}
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")

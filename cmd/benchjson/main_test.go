@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: latticesim
+cpu: Example CPU
+BenchmarkPipelineRunLowP/d=7-8          100   1000000 ns/op   108900 shots/s   0 allocs/op
+BenchmarkFrameSampling-8                200    500000 ns/op   250000 shots/s
+BenchmarkNoShots-8                      300      1000 ns/op
+`
+
+func suiteFromText(t *testing.T, text string) Suite {
+	t.Helper()
+	s, err := parseSuite(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseSuite(t *testing.T) {
+	s := suiteFromText(t, sampleBench)
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	if s.Context["cpu"] != "Example CPU" || s.Context["goos"] != "linux" {
+		t.Fatalf("context not captured: %v", s.Context)
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "BenchmarkPipelineRunLowP/d=7" {
+		t.Fatalf("GOMAXPROCS suffix not trimmed: %q", b.Name)
+	}
+	if b.Metrics["shots/s"] != 108900 || b.Metrics["ns/op"] != 1e6 {
+		t.Fatalf("metrics wrong: %v", b.Metrics)
+	}
+}
+
+func TestCompareSuites(t *testing.T) {
+	old := suiteFromText(t, sampleBench)
+	// New run: first benchmark 40% slower (beyond 30% tolerance), second
+	// 10% slower (within tolerance), third still has no shots/s metric.
+	cur := suiteFromText(t, `
+BenchmarkPipelineRunLowP/d=7-16   100   1000000 ns/op    65340 shots/s
+BenchmarkFrameSampling-16         200    500000 ns/op   225000 shots/s
+BenchmarkNoShots-16               300      1000 ns/op
+`)
+	rows, regressions := compareSuites(old, cur, 0.30)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if regressions != 1 || !rows[0].Regressed {
+		t.Fatalf("want exactly the 40%% drop flagged, got %d (%+v)", regressions, rows)
+	}
+	if rows[1].Regressed || rows[2].Regressed {
+		t.Fatalf("within-tolerance and metric-less rows must pass: %+v", rows)
+	}
+
+	// A drop exactly at the tolerance boundary passes; just beyond fails.
+	atBoundary := suiteFromText(t, "BenchmarkFrameSampling-8 200 500000 ns/op 175000 shots/s\n")
+	if _, n := compareSuites(old, atBoundary, 0.30); n != 0 {
+		t.Fatal("drop equal to tolerance must not regress")
+	}
+	beyond := suiteFromText(t, "BenchmarkFrameSampling-8 200 500000 ns/op 174999 shots/s\n")
+	if _, n := compareSuites(old, beyond, 0.30); n != 1 {
+		t.Fatal("drop beyond tolerance must regress")
+	}
+
+	// Benchmarks only present in the new run are reported (so an added
+	// benchmark is visibly picked up) but can never fail the gate.
+	extra := suiteFromText(t, "BenchmarkBrandNew-8 10 5 ns/op 9 shots/s\n")
+	rows, n := compareSuites(old, extra, 0.30)
+	if n != 0 || len(rows) != 4 {
+		t.Fatalf("new-only benchmarks must be listed without failing the gate: %d regressions, %d rows", n, len(rows))
+	}
+	last := rows[3]
+	if last.Name != "BenchmarkBrandNew" || last.Old != 0 || last.New != 9 || last.Regressed {
+		t.Fatalf("new-only row wrong: %+v", last)
+	}
+
+	// Improvements never regress, at any tolerance.
+	faster := suiteFromText(t, "BenchmarkFrameSampling-8 200 500000 ns/op 500000 shots/s\n")
+	if _, n := compareSuites(old, faster, 0); n != 0 {
+		t.Fatal("an improvement regressed")
+	}
+}

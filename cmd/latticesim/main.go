@@ -8,6 +8,7 @@
 //	latticesim -list
 //	latticesim all
 //	latticesim sweep [sweep flags] -out DIR
+//	latticesim trace [trace flags]
 //
 // Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
 // code distance default to laptop-scale values; the paper's settings are
@@ -17,6 +18,11 @@
 // rates × bases grid, caches build artifacts across points, and streams
 // machine-readable results (JSONL + CSV) with a resumable manifest; see
 // EXPERIMENTS.md for the workflow and the record schema.
+//
+// The trace subcommand simulates whole lattice-surgery programs — many
+// patches with heterogeneous cycle times repeatedly merging — under each
+// synchronization policy, from a trace file or a generated workload
+// family (see EXPERIMENTS.md §10).
 package main
 
 import (
@@ -32,6 +38,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		if err := runSweep(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "latticesim sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim trace: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -55,6 +68,7 @@ func main() {
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: latticesim [-flags] <experiment>...  (see -list)")
 		fmt.Fprintln(os.Stderr, "       latticesim sweep -help")
+		fmt.Fprintln(os.Stderr, "       latticesim trace -help")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {

@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"table2", "Policy summary for T_P=1000, T_P'=1325, τ=1000", Table2},
 		{"table4", "Mean LER reductions per policy and distance", Table4},
 		{"table5", "Hybrid extra rounds on neutral atoms", Table5},
+		{"ext-trace", "Extension: trace-driven multi-patch program simulation", ExtTrace},
 		{"ext-chain", "Extension: 3-patch chain under k-patch synchronization", ExtChain},
 		{"ext-dropout", "Extension: defect-induced logical clock spread", ExtDropout},
 		{"ext-ablation", "Extension: decoder design-choice ablation", ExtAblation},

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+	"latticesim/internal/trace"
+)
+
+// tracePolicies is the comparison order of the trace extension: the
+// Ideal baseline first, then the paper's five policies.
+var tracePolicies = []core.Policy{
+	core.Ideal, core.Passive, core.Active, core.ActiveIntra, core.ExtraRounds, core.Hybrid,
+}
+
+// ExtTrace runs the trace-driven multi-patch simulator on a magic-state
+// factory pipeline (8 patches, two distill-and-merge batches, Fig. 17
+// cycle heterogeneity) and compares every synchronization policy on
+// whole-program runtime and logical error rate — the paper's program
+// level claims (§6, Fig. 16) rather than a single isolated merge.
+func ExtTrace(w io.Writer, o Options) error {
+	header(w, "Extension: trace-driven factory pipeline, all policies (8 patches, 14 merges)")
+	prog := trace.Factory(7, 2, 1000)
+	cfg := trace.Config{
+		HW:    hardware.IBM().Scaled(1000),
+		Shots: o.Shots,
+		Seed:  o.Seed,
+	}.WithDefaults()
+	cfg.Workers = o.Workers
+	results, err := trace.SimulateAll(prog, tracePolicies, cfg)
+	if err != nil {
+		return err
+	}
+	ideal := results[0]
+	fmt.Fprintf(w, "d=%d p=%g shots/pair=%d base cycle=1000ns\n", cfg.D, cfg.P, cfg.Shots)
+	fmt.Fprintf(w, "%-13s %-12s %-13s %-12s %-10s %-12s %s\n",
+		"policy", "runtime(µs)", "sync idle(µs)", "extra rounds", "fallbacks", "program LER", "LER vs Ideal")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-13s %-12.1f %-13.2f %-12d %-10d %-12.4g %.2fx\n",
+			r.Policy, r.RuntimeNs/1000, r.SyncIdleNs/1000, r.ExtraRounds,
+			r.FallbackPairs, r.ProgramLER, ratio(r.ProgramLER, ideal.ProgramLER))
+	}
+	fmt.Fprintln(w, "runtime counts synchronization waits and merged rounds; LER folds every pairwise seam")
+	return nil
+}

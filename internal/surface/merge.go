@@ -301,10 +301,8 @@ func (b *builder) round(ph *patchPhase, o roundOpts) {
 	// Detectors.
 	for i, pl := range ph.plaqs {
 		rec := recs[i]
-		prev, hasPrev := b.lastMeas[pl.Anc], false
-		if _, ok := b.lastMeasSet[pl.Anc]; ok {
-			hasPrev = true
-		}
+		prev := b.lastMeas[pl.Anc]
+		_, hasPrev := b.lastMeasSet[pl.Anc]
 		coords := []float64{float64(pl.J), float64(pl.I), float64(o.round), checkCoord(pl.IsX)}
 		switch o.mode {
 		case detFirstStandalone:

@@ -191,15 +191,25 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
-// Seed derives the point's base RNG seed: campaign seed + FNV-1a hash of
-// the point key, finalized with SplitMix64. Every point therefore owns a
-// decorrelated RNG stream that depends only on the campaign seed and the
-// point itself — adding or removing other points from a grid never
-// perturbs it (see EXPERIMENTS.md §3 for the auditability argument).
-func (pt Point) Seed(campaignSeed uint64) uint64 {
+// DeriveSeed maps a campaign seed and a canonical key string to a
+// decorrelated RNG seed: campaign seed + FNV-1a hash of the key,
+// finalized with SplitMix64. It is the single seed-derivation scheme of
+// the repository's batch executors — sweep points (Point.Seed) and the
+// trace simulator's merge events both use it, so every unit of work owns
+// an RNG stream that depends only on (campaign seed, its own key).
+func DeriveSeed(campaignSeed uint64, key string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(pt.Key()))
+	h.Write([]byte(key))
 	return splitmix64(campaignSeed + h.Sum64())
+}
+
+// Seed derives the point's base RNG seed via DeriveSeed on the point
+// key. Every point therefore owns a decorrelated RNG stream that depends
+// only on the campaign seed and the point itself — adding or removing
+// other points from a grid never perturbs it (see EXPERIMENTS.md §3 for
+// the auditability argument).
+func (pt Point) Seed(campaignSeed uint64) uint64 {
+	return DeriveSeed(campaignSeed, pt.Key())
 }
 
 // SpecForPolicy resolves a synchronization policy into a concrete merge
@@ -240,4 +250,43 @@ func SpecForPolicy(d int, basis surface.Basis, hw hardware.Config, p float64,
 func (pt Point) Resolve() (surface.MergeSpec, core.Plan, bool) {
 	return SpecForPolicy(pt.D, pt.Basis, pt.HW, pt.P, pt.Policy,
 		pt.TauNs, pt.CyclePNs, pt.CyclePPrimeNs, pt.EpsNs)
+}
+
+// SpecForPair maps one resolved pairwise synchronization (a core.PairPlan
+// from SynchronizeK / microarch.PlanSync) onto a runnable two-patch merge
+// experiment. It is the trace simulator's bridge from runtime phase state
+// to the Monte Carlo pipeline, and keys cleanly into a BuildCache.
+//
+// MergeSpec can only inject policy idle into its patch "P", so the spec
+// is oriented with the directive-heavy patch as P: the early patch (which
+// absorbs the Passive/Active/Active-intra idle) for the idle policies,
+// the late patch (which runs the m/z extra rounds and spreads the Hybrid
+// residual) for the round policies. extraMemRoundsEarly/Late are
+// additional pre-merge memory rounds each patch accumulated since its
+// previous operation (IDLE trace ops); they extend the corresponding
+// patch's pre-merge phase.
+func SpecForPair(d int, basis surface.Basis, hw hardware.Config, p float64,
+	pp core.PairPlan, earlyCycleNs, lateCycleNs float64,
+	extraMemRoundsEarly, extraMemRoundsLate int) surface.MergeSpec {
+	spec := surface.MergeSpec{D: d, Basis: basis, HW: hw, P: p}
+	roundsEarly := d + 1 + pp.EarlyExtraRounds + extraMemRoundsEarly
+	roundsLate := d + 1 + pp.LateExtraRounds + extraMemRoundsLate
+	switch pp.Plan.Policy {
+	case core.ExtraRounds, core.Hybrid:
+		spec.CyclePNs, spec.CyclePPrimeNs = lateCycleNs, earlyCycleNs
+		spec.RoundsP, spec.RoundsPPrime = roundsLate, roundsEarly
+		spec.SpreadIdleNs = pp.LateIdleNs // Hybrid residual; 0 for Extra Rounds
+	default: // Ideal, Passive, Active, Active-intra
+		spec.CyclePNs, spec.CyclePPrimeNs = earlyCycleNs, lateCycleNs
+		spec.RoundsP, spec.RoundsPPrime = roundsEarly, roundsLate
+		switch pp.Plan.Policy {
+		case core.Passive:
+			spec.LumpedIdleNs = pp.EarlyIdleNs
+		case core.Active:
+			spec.SpreadIdleNs = pp.EarlyIdleNs
+		case core.ActiveIntra:
+			spec.IntraIdleNs = pp.EarlyIdleNs
+		}
+	}
+	return spec
 }

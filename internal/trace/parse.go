@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a trace program from its text format. The grammar mirrors
+// the circuit text parser's conventions: one statement per line, `#`
+// comments, blank lines ignored, keywords case-insensitive, and errors
+// prefixed with their 1-based line number.
+//
+//	PATCH <name> [cycle_ns]    declare a patch (cycle 0/omitted = hardware base)
+//	MERGE <name> <name> ...    lattice-surgery merge of ≥ 2 declared patches
+//	IDLE  <name> <rounds>      the patch runs extra idle syndrome rounds
+func Parse(r io.Reader) (*Program, error) {
+	p := &Program{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.parseStatement(fields); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString parses a trace program from a string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func (p *Program) parseStatement(fields []string) error {
+	switch keyword := strings.ToUpper(fields[0]); keyword {
+	case "PATCH":
+		if len(fields) < 2 || len(fields) > 3 {
+			return fmt.Errorf("PATCH wants a name and an optional cycle time, got %d fields", len(fields)-1)
+		}
+		name := fields[1]
+		if p.PatchIndex(name) >= 0 {
+			return fmt.Errorf("duplicate patch %q", name)
+		}
+		var cycle float64
+		if len(fields) == 3 {
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return fmt.Errorf("bad cycle time %q", fields[2])
+			}
+			if v < 0 {
+				return fmt.Errorf("cycle time %v must be ≥ 0", v)
+			}
+			cycle = v
+		}
+		p.Patches = append(p.Patches, PatchDecl{Name: name, CycleNs: cycle})
+	case "MERGE":
+		if len(fields) < 3 {
+			return fmt.Errorf("MERGE needs at least two patches")
+		}
+		op := Op{Kind: OpMerge}
+		seen := make(map[int]bool, len(fields)-1)
+		for _, name := range fields[1:] {
+			idx := p.PatchIndex(name)
+			if idx < 0 {
+				return fmt.Errorf("undeclared patch %q", name)
+			}
+			if seen[idx] {
+				return fmt.Errorf("MERGE lists patch %q twice", name)
+			}
+			seen[idx] = true
+			op.Patches = append(op.Patches, idx)
+		}
+		p.Ops = append(p.Ops, op)
+	case "IDLE":
+		if len(fields) != 3 {
+			return fmt.Errorf("IDLE wants a patch and a round count, got %d fields", len(fields)-1)
+		}
+		idx := p.PatchIndex(fields[1])
+		if idx < 0 {
+			return fmt.Errorf("undeclared patch %q", fields[1])
+		}
+		rounds, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("bad round count %q", fields[2])
+		}
+		if rounds < 0 {
+			return fmt.Errorf("IDLE rounds %d must be ≥ 0", rounds)
+		}
+		p.Ops = append(p.Ops, Op{Kind: OpIdle, Patches: []int{idx}, Rounds: rounds})
+	default:
+		return fmt.Errorf("unknown statement %q", fields[0])
+	}
+	return nil
+}

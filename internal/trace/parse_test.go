@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `# factory pipeline
+PATCH C 2000
+PATCH F0 2210
+PATCH F1            # base cycle
+IDLE F0 3
+MERGE C F0
+merge C F1 F0       # keywords are case-insensitive, arity ≥ 2 allowed
+IDLE C 0
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Patches) != 3 || len(p.Ops) != 4 || p.Merges() != 2 {
+		t.Fatalf("parsed %d patches, %d ops, %d merges", len(p.Patches), len(p.Ops), p.Merges())
+	}
+	if p.Patches[2].CycleNs != 0 {
+		t.Fatalf("omitted cycle should parse as 0, got %v", p.Patches[2].CycleNs)
+	}
+	if got := p.Ops[2]; got.Kind != OpMerge || !reflect.DeepEqual(got.Patches, []int{0, 2, 1}) {
+		t.Fatalf("3-patch merge parsed as %+v", got)
+	}
+
+	// Round trip: text → Program → text → Program must be a fixed point.
+	p2, err := ParseString(p.Text())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed the program:\n%+v\n%+v", p, p2)
+	}
+	if p.Text() != p2.Text() {
+		t.Fatal("round trip changed the text encoding")
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine, wantMsg string
+	}{
+		{"unknown statement", "PATCH A\nSPLIT A\n", "line 2", "unknown statement"},
+		{"undeclared merge patch", "PATCH A\nMERGE A B\n", "line 2", "undeclared patch"},
+		{"merge arity", "PATCH A\nPATCH B\nMERGE A\n", "line 3", "at least two"},
+		{"duplicate patch", "PATCH A\nPATCH A\n", "line 2", "duplicate patch"},
+		{"duplicate merge target", "PATCH A\nPATCH B\nMERGE A A\n", "line 3", "twice"},
+		{"bad cycle", "PATCH A xyz\n", "line 1", "bad cycle time"},
+		{"negative cycle", "PATCH A -5\n", "line 1", "must be ≥ 0"},
+		{"bad idle rounds", "PATCH A\nIDLE A many\n", "line 2", "bad round count"},
+		{"negative idle rounds", "PATCH A\nIDLE A -1\n", "line 2", "must be ≥ 0"},
+		{"idle arity", "PATCH A\n\n# comment\nIDLE A\n", "line 4", "IDLE wants"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("%q parsed without error", tc.src)
+			}
+			for _, want := range []string{tc.wantLine, tc.wantMsg} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not contain %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParseRejectsMergelessValidation(t *testing.T) {
+	if _, err := ParseString(""); err == nil {
+		t.Fatal("empty trace must not validate")
+	}
+}
+
+func TestWorkloadsAreDeterministicAndValid(t *testing.T) {
+	progs := map[string]*Program{
+		"random":   Random(8, 12, 1000, 7),
+		"factory":  Factory(7, 2, 1000),
+		"ensemble": Ensemble(8, 10, 1000, nil, 7),
+	}
+	for name, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Merges() == 0 {
+			t.Fatalf("%s: no merges generated", name)
+		}
+		if len(p.Patches) < 8 {
+			t.Fatalf("%s: %d patches, want ≥ 8", name, len(p.Patches))
+		}
+	}
+	if Random(8, 12, 1000, 7).Text() != progs["random"].Text() {
+		t.Fatal("Random is not a pure function of its arguments")
+	}
+	if Ensemble(8, 10, 1000, nil, 7).Text() != progs["ensemble"].Text() {
+		t.Fatal("Ensemble is not a pure function of its arguments")
+	}
+	// The factory workload's producers must span the Fig. 17 ratio set.
+	f := progs["factory"]
+	distinct := map[float64]bool{}
+	for _, pd := range f.Patches[1:] {
+		distinct[pd.CycleNs] = true
+	}
+	if len(distinct) < len(Fig17Factors) {
+		t.Fatalf("factory cycles %v do not span the Fig. 17 factors", distinct)
+	}
+}

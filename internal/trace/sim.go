@@ -1,0 +1,385 @@
+package trace
+
+import (
+	"fmt"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+	"latticesim/internal/microarch"
+	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
+)
+
+// Config carries the physical and execution parameters of a trace
+// simulation. The zero value is runnable: IBM hardware, d=3, p=1e-3,
+// X-basis merges, ε=400ns (Table 2), maxZ=5, 4096 shots per merge pair,
+// seed 0xC0FFEE.
+type Config struct {
+	// HW is the hardware profile (zero value: hardware.IBM()).
+	HW hardware.Config
+	// D is the code distance (0 = 3).
+	D int
+	// P is the circuit-level depolarizing strength (0 = 1e-3).
+	P float64
+	// Basis selects XX or ZZ lattice surgery for every merge.
+	Basis surface.Basis
+	// EpsNs is the Hybrid policy's residual tolerance (0 = 400, Table 2).
+	EpsNs int64
+	// MaxZ bounds the Hybrid extra-round search (0 = 5, §4.2.1).
+	MaxZ int
+	// Shots is the Monte Carlo budget per merge pair (0 = 4096).
+	Shots int
+	// Seed is the campaign seed; each merge event derives its own RNG
+	// stream from it (0 = 0xC0FFEE).
+	Seed uint64
+	// Workers is the Monte Carlo worker-pool size inside each merge
+	// simulation (0 = all CPUs). Results are bit-identical for any value:
+	// the event loop is sequential and the shot executor is worker-count
+	// independent (DESIGN.md §5).
+	Workers int
+	// StaggerNs is the initial phase offset between consecutively
+	// registered patches, modeling patches coming online at different
+	// times (0 = 135ns; negative = no stagger). Without stagger a
+	// homogeneous-cycle program never accumulates slack. The default is
+	// a multiple of 5 so that on cycle grids like the bundled traces'
+	// (1000/1105/1210/1325ns) slacks stay commensurate with the cycle
+	// gcds and Extra Rounds' Eq. 1 is sometimes solvable; a co-prime
+	// stagger silently degrades Extra Rounds to all-Active fallbacks.
+	StaggerNs int64
+	// Cache deduplicates merge-circuit build artifacts across events and
+	// across policies. Optional; a private cache is used when nil. Pass a
+	// shared cache when simulating several policies over one trace.
+	Cache *sweep.BuildCache
+}
+
+// WithDefaults resolves the zero values to the documented defaults.
+// Callers that need the resolved values up front (e.g. to print the
+// effective seed) should resolve once and reuse.
+func (c Config) WithDefaults() Config {
+	if c.HW.Name == "" {
+		c.HW = hardware.IBM()
+	}
+	if c.D == 0 {
+		c.D = 3
+	}
+	if c.P == 0 {
+		c.P = 1e-3
+	}
+	if c.EpsNs == 0 {
+		c.EpsNs = 400
+	}
+	if c.MaxZ == 0 {
+		c.MaxZ = 5
+	}
+	if c.Shots == 0 {
+		c.Shots = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0FFEE
+	}
+	if c.StaggerNs == 0 {
+		// Negative values mean "no stagger" and are preserved, so
+		// resolving an already-resolved config is a no-op.
+		c.StaggerNs = 135
+	}
+	return c
+}
+
+// stagger returns the effective inter-patch phase offset: the resolved
+// StaggerNs, with the negative "no stagger" sentinel mapped to 0.
+func (c Config) stagger() int64 {
+	if c.StaggerNs < 0 {
+		return 0
+	}
+	return c.StaggerNs
+}
+
+// PatchStats is the per-patch breakdown of a simulation.
+type PatchStats struct {
+	Name string
+	// CycleNs is the resolved cycle time (declared cycles below the
+	// hardware base are raised to it).
+	CycleNs float64
+	// Merges counts the merge operations the patch participated in.
+	Merges int
+	// SyncIdleNs is the policy-injected idle time charged to the patch.
+	SyncIdleNs float64
+	// ExtraRounds counts policy-mandated extra syndrome rounds.
+	ExtraRounds int
+	// IdleRounds counts IDLE-op memory rounds.
+	IdleRounds int
+}
+
+// MergeStats records one executed merge event.
+type MergeStats struct {
+	// Op is the index of the MERGE operation in Program.Ops.
+	Op int
+	// StartNs is the program time at which the merged rounds begin.
+	StartNs float64
+	// SyncNs is the synchronization wait this merge spent (from event
+	// issue to alignment of every participant).
+	SyncNs float64
+	// SkewNs totals the waits of pairs that aligned before the slowest
+	// pair of this merge did.
+	SkewNs float64
+	// FailProb is the merge's logical failure probability: 1 − Π over
+	// its pairwise seams of (1 − joint LER).
+	FailProb float64
+	// FallbackPairs counts pairs whose requested policy was infeasible
+	// and fell back to Active (§5 runtime selection).
+	FallbackPairs int
+}
+
+// Result is the outcome of simulating one program under one policy.
+// Every field is a deterministic function of (program, policy, config) —
+// independent of Config.Workers.
+type Result struct {
+	Policy  core.Policy
+	Patches int
+	// MergeOps and IdleOps count executed trace operations.
+	MergeOps, IdleOps int
+	// RuntimeNs is the program makespan: the global clock after the last
+	// operation completed.
+	RuntimeNs float64
+	// SyncIdleNs totals the policy-injected idle across all patches.
+	SyncIdleNs float64
+	// SkewWaitNs totals cross-pair alignment waits in k-patch merges
+	// (pairs that aligned before the slowest pair did). It is timing
+	// bookkeeping only and is not charged into the Monte Carlo circuits.
+	SkewWaitNs float64
+	// ExtraRounds totals policy-mandated extra syndrome rounds.
+	ExtraRounds int
+	// IdleRounds totals IDLE-op memory rounds.
+	IdleRounds int
+	// FallbackPairs counts pairwise plans that fell back to Active.
+	FallbackPairs int
+	// RaisedCycles counts patches whose declared cycle was below the
+	// hardware base cycle and was raised to it.
+	RaisedCycles int
+	// ProgramLER is the whole-program logical error probability,
+	// 1 − Π over merges (1 − merge failure probability), under the
+	// independence approximation of the paper's program-level model.
+	ProgramLER float64
+	// PerPatch and PerMerge are the detailed breakdowns.
+	PerPatch []PatchStats
+	PerMerge []MergeStats
+}
+
+// Simulate runs the program under one synchronization policy. See the
+// package comment for the event model and DESIGN.md §10 for its
+// approximations.
+func Simulate(prog *Program, policy core.Policy, cfg Config) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	if prog.Merges() == 0 {
+		return nil, fmt.Errorf("trace: program has no MERGE operations")
+	}
+
+	base := cfg.HW.CycleNs()
+	res := &Result{Policy: policy, Patches: len(prog.Patches)}
+	cycles := make([]float64, len(prog.Patches))
+	for i, pd := range prog.Patches {
+		cycles[i] = pd.CycleNs
+		if cycles[i] == 0 {
+			cycles[i] = base
+		}
+		if cycles[i] < base {
+			cycles[i] = base
+			res.RaisedCycles++
+		}
+		res.PerPatch = append(res.PerPatch, PatchStats{Name: pd.Name, CycleNs: cycles[i]})
+	}
+
+	// Register patches with a deterministic stagger: after each
+	// registration the global clock advances, so patch i comes online
+	// i·StaggerNs after patch 0 and the program starts phase-skewed, as a
+	// running computer would be.
+	eng := microarch.NewEngine(len(prog.Patches))
+	for i := range prog.Patches {
+		id, err := eng.Register(int64(cycles[i] + 0.5))
+		if err != nil {
+			return nil, fmt.Errorf("trace: patch %q: %w (scale the hardware profile down, e.g. latticesim trace -scale 1000)", prog.Patches[i].Name, err)
+		}
+		if id != i {
+			return nil, fmt.Errorf("trace: engine assigned id %d to patch %d", id, i)
+		}
+		if i < len(prog.Patches)-1 {
+			eng.Tick(cfg.stagger())
+		}
+	}
+
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sweep.NewBuildCache()
+	}
+
+	clockNs := float64(len(prog.Patches)-1) * float64(cfg.stagger())
+	pending := make([]int, len(prog.Patches)) // accumulated IDLE rounds per patch
+	survival := 1.0
+	for opIdx, op := range prog.Ops {
+		switch op.Kind {
+		case OpIdle:
+			p := op.Patches[0]
+			pending[p] += op.Rounds
+			res.IdleRounds += op.Rounds
+			res.PerPatch[p].IdleRounds += op.Rounds
+			advance := float64(op.Rounds) * cycles[p]
+			eng.Tick(int64(advance + 0.5))
+			clockNs += advance
+
+		case OpMerge:
+			ms, pairSurvival, err := runMerge(eng, cache, prog, op, opIdx, cycles, pending, cfg, policy, res)
+			if err != nil {
+				return nil, err
+			}
+			res.MergeOps++
+			res.FallbackPairs += ms.FallbackPairs
+			res.SkewWaitNs += ms.SkewNs
+			survival *= pairSurvival
+
+			// Advance through synchronization plus the merged rounds at
+			// the slowest participant's cycle.
+			mergedCycle := 0.0
+			for _, p := range op.Patches {
+				if cycles[p] > mergedCycle {
+					mergedCycle = cycles[p]
+				}
+				pending[p] = 0
+				res.PerPatch[p].Merges++
+			}
+			mergedNs := float64(cfg.D+1) * mergedCycle
+			ms.StartNs = clockNs + ms.SyncNs
+			advance := ms.SyncNs + mergedNs
+			eng.Tick(int64(advance + 0.5))
+			clockNs += advance
+			res.PerMerge = append(res.PerMerge, ms)
+		}
+	}
+	res.IdleOps = len(prog.Ops) - res.MergeOps
+	res.RuntimeNs = clockNs
+	res.ProgramLER = 1 - survival
+	return res, nil
+}
+
+// runMerge resolves one merge event: plan the synchronization from the
+// engine's live phase state, charge each patch's directives, and estimate
+// the merge's failure probability by running every pairwise seam through
+// the compiled Monte Carlo pipeline.
+func runMerge(eng *microarch.Engine, cache *sweep.BuildCache, prog *Program,
+	op Op, opIdx int, cycles []float64, pending []int,
+	cfg Config, policy core.Policy, res *Result) (MergeStats, float64, error) {
+	ms := MergeStats{Op: opIdx}
+
+	sched, err := eng.PlanSync(op.Patches, policy, cfg.EpsNs, cfg.MaxZ)
+	if err != nil {
+		return ms, 0, err
+	}
+	remaining := make(map[int]float64, len(op.Patches))
+	for _, p := range op.Patches {
+		st, err := eng.State(p)
+		if err != nil {
+			return ms, 0, err
+		}
+		remaining[p] = float64(st.RemainingNs())
+	}
+
+	// Alignment time of each pair, measured from now: the early patch
+	// completes its cycle, absorbs its idle and runs its extra rounds;
+	// plans guarantee the late patch arrives at the same instant (up to
+	// integer rounding). The merge starts when the slowest pair aligns.
+	// The Ideal baseline needs no synchronization at all: the merge
+	// starts immediately, with no alignment wait. Every real policy waits
+	// until its slowest pair aligns.
+	syncNs := 0.0
+	aligns := make([]float64, len(sched.Pairs))
+	for i, pp := range sched.Pairs {
+		if policy == core.Ideal {
+			continue
+		}
+		earlyT := remaining[pp.Early] + pp.EarlyIdleNs + float64(pp.EarlyExtraRounds)*cycles[pp.Early]
+		lateT := remaining[pp.Late] + float64(pp.LateExtraRounds)*cycles[pp.Late] + pp.LateIdleNs
+		aligns[i] = earlyT
+		if lateT > aligns[i] {
+			aligns[i] = lateT
+		}
+		if aligns[i] > syncNs {
+			syncNs = aligns[i]
+		}
+	}
+	if len(sched.Pairs) == 0 {
+		// Single-patch "merge" cannot happen (Validate enforces arity ≥ 2),
+		// but a defensive floor keeps the clock monotonic.
+		for _, p := range op.Patches {
+			if remaining[p] > syncNs {
+				syncNs = remaining[p]
+			}
+		}
+	}
+	ms.SyncNs = syncNs
+
+	// Charge directives. Every pair shares the same late (reference)
+	// patch, which physically runs the largest per-pair round demand, not
+	// their sum; early patches each own their pair's directives.
+	lateRounds, lateIdle := 0, 0.0
+	survival := 1.0
+	for i, pp := range sched.Pairs {
+		if pp.Plan.Policy != policy {
+			ms.FallbackPairs++
+		}
+		ms.SkewNs += syncNs - aligns[i]
+		res.SyncIdleNs += pp.EarlyIdleNs
+		res.ExtraRounds += pp.EarlyExtraRounds
+		res.PerPatch[pp.Early].SyncIdleNs += pp.EarlyIdleNs
+		res.PerPatch[pp.Early].ExtraRounds += pp.EarlyExtraRounds
+		if pp.LateExtraRounds > lateRounds {
+			lateRounds = pp.LateExtraRounds
+		}
+		if pp.LateIdleNs > lateIdle {
+			lateIdle = pp.LateIdleNs
+		}
+
+		spec := sweep.SpecForPair(cfg.D, cfg.Basis, cfg.HW, cfg.P, pp,
+			cycles[pp.Early], cycles[pp.Late], pending[pp.Early], pending[pp.Late])
+		art, _, err := cache.Get(spec)
+		if err != nil {
+			return ms, 0, fmt.Errorf("trace: op %d pair %s–%s: %w", opIdx,
+				prog.Patches[pp.Early].Name, prog.Patches[pp.Late].Name, err)
+		}
+		seed := sweep.DeriveSeed(cfg.Seed,
+			fmt.Sprintf("trace merge=%d pair=%d %s", opIdx, i, sweep.SpecKey(spec)))
+		// Run on a shallow copy so the shared cached pipeline is never
+		// mutated (the same discipline as the sweep executor).
+		pl := *art.Pipeline
+		pl.Workers = cfg.Workers
+		out := pl.Run(cfg.Shots, seed)
+		survival *= 1 - out.Rate(surface.ObsJoint)
+	}
+	ref := sched.Reference
+	res.ExtraRounds += lateRounds
+	res.SyncIdleNs += lateIdle
+	res.PerPatch[ref].ExtraRounds += lateRounds
+	res.PerPatch[ref].SyncIdleNs += lateIdle
+
+	ms.FailProb = 1 - survival
+	return ms, survival, nil
+}
+
+// SimulateAll runs the program under each policy with one shared build
+// cache, in the given order. Results are independent: each policy's
+// outcome is exactly what Simulate alone would produce.
+func SimulateAll(prog *Program, policies []core.Policy, cfg Config) ([]*Result, error) {
+	if cfg.Cache == nil {
+		cfg.Cache = sweep.NewBuildCache()
+	}
+	out := make([]*Result, 0, len(policies))
+	for _, pol := range policies {
+		r, err := Simulate(prog, pol, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace: policy %s: %w", pol, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

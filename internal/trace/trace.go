@@ -1,0 +1,182 @@
+// Package trace is the trace-driven multi-patch simulator: it executes
+// lattice-surgery *programs* — many logical patches with heterogeneous
+// syndrome cycle times repeatedly merging under a synchronization policy
+// — instead of the single isolated merge that internal/core and
+// internal/exp model (paper §5–§6, Figs. 14–20).
+//
+// A trace is a small text program (see Parse) or a generated workload
+// (Random, Factory, Ensemble): PATCH declarations followed by a sequence
+// of MERGE and IDLE operations. The discrete-event loop in Simulate
+// drives microarch.Engine for clocking and phase tracking, resolves every
+// merge with core's pairwise synchronization plans (PlanSync), and
+// charges each patch's accumulated idle time and extra rounds into the
+// compiled Monte Carlo pipeline of internal/mc — producing per-program
+// logical error rates and timing breakdowns, so policies are compared on
+// realistic multi-merge workloads. See DESIGN.md §10 for the event model.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OpKind discriminates trace operations.
+type OpKind int
+
+// Trace operation kinds.
+const (
+	// OpMerge synchronizes the listed patches under the campaign policy
+	// and performs a lattice-surgery merge (d+1 merged rounds).
+	OpMerge OpKind = iota
+	// OpIdle has one patch run additional idle (memory) syndrome rounds
+	// before its next merge; the exposure is charged into that merge's
+	// Monte Carlo circuit.
+	OpIdle
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMerge:
+		return "MERGE"
+	case OpIdle:
+		return "IDLE"
+	}
+	return "Op(?)"
+}
+
+// PatchDecl declares one logical patch of a program.
+type PatchDecl struct {
+	// Name identifies the patch in trace text (case-sensitive).
+	Name string
+	// CycleNs is the patch's syndrome cycle time in ns. Zero selects the
+	// hardware base cycle at simulation time; values below the base cycle
+	// are raised to it (traces stay hardware-independent).
+	CycleNs float64
+}
+
+// Op is one trace operation over declared patches.
+type Op struct {
+	Kind OpKind
+	// Patches are indices into Program.Patches: ≥ 2 for OpMerge, exactly
+	// 1 for OpIdle.
+	Patches []int
+	// Rounds is the idle round count (OpIdle only).
+	Rounds int
+}
+
+// Program is a parsed or generated lattice-surgery trace.
+type Program struct {
+	Patches []PatchDecl
+	Ops     []Op
+}
+
+// PatchIndex returns the index of the named patch, or -1.
+func (p *Program) PatchIndex(name string) int {
+	for i, pd := range p.Patches {
+		if pd.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Merges counts the program's merge operations.
+func (p *Program) Merges() int {
+	n := 0
+	for _, op := range p.Ops {
+		if op.Kind == OpMerge {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: non-empty unique patch names,
+// positive cycle times, in-range patch indices, merge arity ≥ 2 with
+// distinct participants, and non-negative idle rounds.
+func (p *Program) Validate() error {
+	if len(p.Patches) == 0 {
+		return fmt.Errorf("trace: program declares no patches")
+	}
+	seen := make(map[string]bool, len(p.Patches))
+	for i, pd := range p.Patches {
+		if pd.Name == "" {
+			return fmt.Errorf("trace: patch %d has an empty name", i)
+		}
+		if seen[pd.Name] {
+			return fmt.Errorf("trace: duplicate patch %q", pd.Name)
+		}
+		seen[pd.Name] = true
+		if pd.CycleNs < 0 {
+			return fmt.Errorf("trace: patch %q cycle %v must be ≥ 0", pd.Name, pd.CycleNs)
+		}
+	}
+	for i, op := range p.Ops {
+		for _, idx := range op.Patches {
+			if idx < 0 || idx >= len(p.Patches) {
+				return fmt.Errorf("trace: op %d references patch index %d out of range", i, idx)
+			}
+		}
+		switch op.Kind {
+		case OpMerge:
+			if len(op.Patches) < 2 {
+				return fmt.Errorf("trace: op %d: MERGE needs at least two patches", i)
+			}
+			dup := make(map[int]bool, len(op.Patches))
+			for _, idx := range op.Patches {
+				if dup[idx] {
+					return fmt.Errorf("trace: op %d: MERGE lists patch %q twice", i, p.Patches[idx].Name)
+				}
+				dup[idx] = true
+			}
+		case OpIdle:
+			if len(op.Patches) != 1 {
+				return fmt.Errorf("trace: op %d: IDLE takes exactly one patch", i)
+			}
+			if op.Rounds < 0 {
+				return fmt.Errorf("trace: op %d: IDLE rounds %d must be ≥ 0", i, op.Rounds)
+			}
+		default:
+			return fmt.Errorf("trace: op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// WriteText encodes the program in the trace text format parsed by
+// Parse: PATCH declarations first, then one line per operation.
+func (p *Program) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	for _, pd := range p.Patches {
+		sb.WriteString("PATCH ")
+		sb.WriteString(pd.Name)
+		if pd.CycleNs != 0 {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatFloat(pd.CycleNs, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, op := range p.Ops {
+		sb.WriteString(op.Kind.String())
+		for _, idx := range op.Patches {
+			sb.WriteByte(' ')
+			sb.WriteString(p.Patches[idx].Name)
+		}
+		if op.Kind == OpIdle {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Itoa(op.Rounds))
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Text returns the trace text encoding as a string.
+func (p *Program) Text() string {
+	var sb strings.Builder
+	p.WriteText(&sb)
+	return sb.String()
+}

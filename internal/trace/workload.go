@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+
+	"latticesim/internal/stats"
+)
+
+// Fig17Factors are the paper's Fig. 17 cycle-time ratios: ensembles mix
+// patches at the base cycle with patches stretched by intermediate
+// fractions of a full extra cycle.
+var Fig17Factors = []float64{1, 1.105, 1.21, 1.325}
+
+// Random generates a workload of the given size: patches with cycle
+// times spread uniformly up to a third above baseCycleNs, and a sequence
+// of two-patch merges over uniformly random pairs with occasional
+// interleaved IDLE rounds. The program is a pure function of the
+// arguments.
+func Random(patches, merges int, baseCycleNs float64, seed uint64) *Program {
+	if patches < 2 {
+		patches = 2
+	}
+	rng := stats.NewRand(seed)
+	p := &Program{}
+	for i := 0; i < patches; i++ {
+		p.Patches = append(p.Patches, PatchDecl{
+			Name:    fmt.Sprintf("q%d", i),
+			CycleNs: float64(int64(baseCycleNs*(1+rng.Float64()/3) + 0.5)),
+		})
+	}
+	for m := 0; m < merges; m++ {
+		a := rng.IntN(patches)
+		b := rng.IntN(patches - 1)
+		if b >= a {
+			b++
+		}
+		if rng.IntN(3) == 0 {
+			p.Ops = append(p.Ops, Op{Kind: OpIdle, Patches: []int{a}, Rounds: 1 + rng.IntN(4)})
+		}
+		p.Ops = append(p.Ops, Op{Kind: OpMerge, Patches: []int{a, b}})
+	}
+	return p
+}
+
+// Factory generates a magic-state factory pipeline: one consumer patch
+// at the base cycle and `factories` producer patches with deterministic
+// heterogeneous cycle stretches. Each batch has every factory distill
+// (IDLE rounds) and then merge into the consumer — the paper's repeated
+// multi-merge pattern where synchronization slack accumulates on the
+// consumer (§3.2, Fig. 3).
+func Factory(factories, batches int, baseCycleNs float64) *Program {
+	if factories < 1 {
+		factories = 1
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	p := &Program{Patches: []PatchDecl{{Name: "C", CycleNs: float64(int64(baseCycleNs + 0.5))}}}
+	for i := 0; i < factories; i++ {
+		// Stretch cycles through the Fig. 17 ratio set so the pipeline
+		// exercises unequal-cycle synchronization on every merge.
+		factor := Fig17Factors[i%len(Fig17Factors)]
+		p.Patches = append(p.Patches, PatchDecl{
+			Name:    fmt.Sprintf("F%d", i),
+			CycleNs: float64(int64(baseCycleNs*factor + 0.5)),
+		})
+	}
+	for b := 0; b < batches; b++ {
+		for i := 0; i < factories; i++ {
+			f := 1 + i
+			p.Ops = append(p.Ops,
+				Op{Kind: OpIdle, Patches: []int{f}, Rounds: 2 + (b+i)%3},
+				Op{Kind: OpMerge, Patches: []int{0, f}})
+		}
+	}
+	return p
+}
+
+// Ensemble generates a Fig. 17-style ensemble: patches whose cycle times
+// cycle deterministically through the factor set (Fig17Factors when nil)
+// and a random two-patch merge sequence. Unlike Random, the cycle-time
+// population is exactly the paper's, so policy gaps match the Fig. 17
+// regime.
+func Ensemble(patches, merges int, baseCycleNs float64, factors []float64, seed uint64) *Program {
+	if patches < 2 {
+		patches = 2
+	}
+	if len(factors) == 0 {
+		factors = Fig17Factors
+	}
+	rng := stats.NewRand(seed)
+	p := &Program{}
+	for i := 0; i < patches; i++ {
+		p.Patches = append(p.Patches, PatchDecl{
+			Name:    fmt.Sprintf("q%d", i),
+			CycleNs: float64(int64(baseCycleNs*factors[i%len(factors)] + 0.5)),
+		})
+	}
+	for m := 0; m < merges; m++ {
+		a := rng.IntN(patches)
+		b := rng.IntN(patches - 1)
+		if b >= a {
+			b++
+		}
+		p.Ops = append(p.Ops, Op{Kind: OpMerge, Patches: []int{a, b}})
+	}
+	return p
+}

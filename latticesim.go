@@ -11,7 +11,9 @@
 //   - resolve a synchronization policy into a concrete schedule with
 //     ComputePlan or SpecForPolicy,
 //   - estimate logical error rates with NewPipeline,
-//   - drive the runtime engine with NewEngine, and
+//   - drive the runtime engine with NewEngine,
+//   - simulate whole multi-patch programs with ParseTrace /
+//     SimulateTrace, and
 //   - regenerate every table and figure of the paper via Experiments.
 //
 // See the examples directory for runnable walkthroughs and DESIGN.md for
@@ -31,6 +33,7 @@ import (
 	"latticesim/internal/microarch"
 	"latticesim/internal/surface"
 	"latticesim/internal/sweep"
+	"latticesim/internal/trace"
 )
 
 // Synchronization policies (§4 of the paper).
@@ -203,6 +206,50 @@ func NewBuildCache() *BuildCache { return sweep.NewBuildCache() }
 func CollectSweep(g SweepGrid, cfg SweepConfig, cache *BuildCache) ([]SweepRecord, error) {
 	return sweep.Collect(g, cfg, cache)
 }
+
+// Trace-driven multi-patch simulation: whole lattice-surgery programs
+// (PATCH/MERGE/IDLE traces) executed under a synchronization policy,
+// with per-program timing breakdowns and Monte Carlo logical error
+// rates (the engine behind `latticesim trace`; see DESIGN.md §10).
+type (
+	// TraceProgram is a parsed or generated lattice-surgery trace.
+	TraceProgram = trace.Program
+	// TracePatch declares one logical patch of a trace program.
+	TracePatch = trace.PatchDecl
+	// TraceOp is one MERGE or IDLE operation of a trace program.
+	TraceOp = trace.Op
+	// TraceConfig carries the physical and execution parameters of a
+	// trace simulation; its zero value is runnable.
+	TraceConfig = trace.Config
+	// TraceResult is the per-policy outcome: runtime, idle/extra-round
+	// breakdowns, and the program logical error rate.
+	TraceResult = trace.Result
+)
+
+// ParseTrace reads a trace program from its text format.
+func ParseTrace(r io.Reader) (*TraceProgram, error) { return trace.Parse(r) }
+
+// ParseTraceString parses a trace program from a string.
+func ParseTraceString(s string) (*TraceProgram, error) { return trace.ParseString(s) }
+
+// SimulateTrace runs a program under one synchronization policy.
+func SimulateTrace(prog *TraceProgram, policy Policy, cfg TraceConfig) (*TraceResult, error) {
+	return trace.Simulate(prog, policy, cfg)
+}
+
+// SimulateTraceAll runs a program under each policy with one shared
+// build cache.
+func SimulateTraceAll(prog *TraceProgram, policies []Policy, cfg TraceConfig) ([]*TraceResult, error) {
+	return trace.SimulateAll(prog, policies, cfg)
+}
+
+// Built-in trace workload families: a magic-state factory pipeline,
+// uniformly random merges, and a Fig. 17-style cycle-time ensemble.
+var (
+	FactoryTrace  = trace.Factory
+	RandomTrace   = trace.Random
+	EnsembleTrace = trace.Ensemble
+)
 
 // Experiments: regeneration of the paper's tables and figures.
 type (

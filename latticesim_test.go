@@ -104,8 +104,8 @@ func TestFacadeDEMAndStimText(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(latticesim.Experiments()) != 27 {
-		t.Fatalf("registry has %d experiments, want 27", len(latticesim.Experiments()))
+	if len(latticesim.Experiments()) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(latticesim.Experiments()))
 	}
 	var buf bytes.Buffer
 	if err := latticesim.RunExperiment("fig10", &buf, latticesim.Options{}); err != nil {
