@@ -16,7 +16,7 @@ COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_JSON ?= BENCH_pr3.json
 
-.PHONY: build test race bench bench-json bench-compare
+.PHONY: build test race serve bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# serve starts the simulation service (HTTP job queue + content-addressed
+# result store under SERVE_DATA). Submit work with `latticesim submit`
+# or plain curl; see DESIGN.md §11.
+SERVE_ADDR ?= 127.0.0.1:8642
+SERVE_DATA ?= serve-data
+serve:
+	$(GO) run ./cmd/latticesim serve -addr $(SERVE_ADDR) -data $(SERVE_DATA)
 
 # bench writes benchstat-friendly raw output to $(BENCH_OUT); compare
 # against the committed pre-PR-3 numbers with

@@ -1,6 +1,7 @@
 // Command latticesim regenerates the tables and figures of
-// "Synchronization for Fault-Tolerant Quantum Computers" (ISCA 2025) and
-// runs declarative parameter-sweep campaigns.
+// "Synchronization for Fault-Tolerant Quantum Computers" (ISCA 2025),
+// runs declarative parameter-sweep campaigns, and serves simulations
+// over HTTP.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	latticesim all
 //	latticesim sweep [sweep flags] -out DIR
 //	latticesim trace [trace flags]
+//	latticesim serve [serve flags]
+//	latticesim submit sweep|trace [submit flags]
 //
 // Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
 // code distance default to laptop-scale values; the paper's settings are
@@ -23,6 +26,13 @@
 // patches with heterogeneous cycle times repeatedly merging — under each
 // synchronization policy, from a trace file or a generated workload
 // family (see EXPERIMENTS.md §10).
+//
+// The serve subcommand starts the always-on simulation service: a job
+// queue with a content-addressed result store, so identical submissions
+// are answered from cache bit-identically (DESIGN.md §11). The submit
+// subcommand is its command-line client. Both sweep and trace accept
+// -json to emit the same machine-readable schemas the service returns,
+// making CLI and API outputs interchangeable.
 package main
 
 import (
@@ -49,6 +59,20 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "submit" {
+		if err := runSubmit(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim submit: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := exp.OptionsFromEnv()
 	shots := flag.Int("shots", opts.Shots, "shots per simulated configuration (0 = default)")
@@ -69,6 +93,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: latticesim [-flags] <experiment>...  (see -list)")
 		fmt.Fprintln(os.Stderr, "       latticesim sweep -help")
 		fmt.Fprintln(os.Stderr, "       latticesim trace -help")
+		fmt.Fprintln(os.Stderr, "       latticesim serve -help")
+		fmt.Fprintln(os.Stderr, "       latticesim submit -help")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {

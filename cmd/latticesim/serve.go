@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"latticesim/internal/service"
+)
+
+// runServe implements the `latticesim serve` subcommand: start the
+// simulation service and serve its HTTP API until SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `usage: latticesim serve [flags]
+
+Starts the always-on simulation service: sweep-point and trace jobs are
+accepted over a small HTTP/JSON API, executed by a bounded worker pool
+that shares one build cache, and their results stored content-addressed
+so identical re-submissions are served bit-identically from cache.
+
+API (see DESIGN.md §11):
+  POST /v1/jobs           submit a job spec
+  GET  /v1/jobs/{id}      job status (?watch=1 streams NDJSON progress)
+  GET  /v1/results/{key}  stored result JSON
+  GET  /v1/stats          queue/store/build-cache counters
+  GET  /healthz           liveness probe
+
+Submit jobs with `+"`latticesim submit`"+` or any HTTP client.
+
+Flags:`)
+		fs.PrintDefaults()
+	}
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8642", "listen address")
+		data    = fs.String("data", "serve-data", "result-store directory (\"\" = memory only)")
+		workers = fs.Int("workers", 2, "queue workers executing jobs concurrently")
+		queue   = fs.Int("queue", 64, "bounded queue depth; submissions beyond it get 503")
+		mcw     = fs.Int("mc-workers", 0, "Monte Carlo worker-pool size per running job (0 = GOMAXPROCS; results are independent of it)")
+		quiet   = fs.Bool("quiet", false, "suppress startup and shutdown log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, err := service.New(service.Options{
+		DataDir: *data, Workers: *workers, QueueDepth: *queue, MCWorkers: *mcw,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	if !*quiet {
+		store := *data
+		if store == "" {
+			store = "(memory)"
+		}
+		fmt.Printf("latticesim serve: listening on http://%s (store %s, %d workers, queue %d)\n",
+			ln.Addr(), store, *workers, *queue)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		if !*quiet {
+			fmt.Printf("latticesim serve: %v, shutting down\n", s)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"latticesim/internal/service"
+)
+
+// runSubmit implements `latticesim submit sweep|trace`: build a job
+// spec from flags, submit it to a running server, follow progress, and
+// print the result JSON to stdout (status lines go to stderr, so the
+// result can be piped or diffed byte-for-byte).
+func runSubmit(args []string) error {
+	usage := func(out *os.File) {
+		fmt.Fprintln(out, `usage: latticesim submit sweep  [flags]   submit one sweep point
+       latticesim submit trace  [flags]   submit a trace simulation
+
+Submits a job to a running `+"`latticesim serve`"+` instance, waits for it,
+and writes the result JSON to stdout. The status line on stderr reports
+the job id, the result's content address, and whether the submission was
+served from the server's result cache. Identical submissions always
+yield byte-identical result JSON. Use -help on either form for flags.`)
+	}
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return fmt.Errorf("missing job kind")
+	}
+	switch args[0] {
+	case "sweep":
+		return submitSweep(args[1:])
+	case "trace":
+		return submitTrace(args[1:])
+	case "-h", "-help", "--help":
+		usage(os.Stdout)
+		return nil
+	}
+	usage(os.Stderr)
+	return fmt.Errorf("unknown job kind %q (sweep or trace)", args[0])
+}
+
+// submitCommon holds the flags shared by both job kinds.
+type submitCommon struct {
+	server *string
+	wait   *bool
+	quiet  *bool
+}
+
+func addCommon(fs *flag.FlagSet) submitCommon {
+	return submitCommon{
+		server: fs.String("server", "http://127.0.0.1:8642", "server base URL"),
+		wait:   fs.Bool("wait", true, "wait for the job and print its result JSON to stdout"),
+		quiet:  fs.Bool("quiet", false, "suppress the status line on stderr"),
+	}
+}
+
+// run submits the spec and handles the wait/print cycle.
+func (c submitCommon) run(spec service.JobSpec) error {
+	client := service.NewClient(*c.server)
+	ctx := context.Background()
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*c.quiet {
+		fmt.Fprintf(os.Stderr, "submitted %s state=%s cache_hit=%v key=%s\n",
+			st.ID, st.State, st.CacheHit, st.Key)
+	}
+	if !*c.wait {
+		return nil
+	}
+	if !st.Terminal() {
+		last := -1
+		st, err = client.Watch(ctx, st.ID, func(s service.JobStatus) {
+			if !*c.quiet && s.Progress.Total > 0 && s.Progress.Done != last {
+				last = s.Progress.Done
+				fmt.Fprintf(os.Stderr, "  %s %d/%d %s\n", s.ID, s.Progress.Done, s.Progress.Total, s.Progress.Unit)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := client.Result(ctx, st.Key)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		os.Stdout.WriteString("\n")
+	}
+	return nil
+}
+
+func submitSweep(args []string) error {
+	fs := flag.NewFlagSet("submit sweep", flag.ExitOnError)
+	common := addCommon(fs)
+	var (
+		hw     = fs.String("hw", "IBM", "hardware profile (IBM, Google, QuEra, IBM-Sherbrooke)")
+		scale  = fs.Float64("scale", 0, "scale the profile so its cycle equals this many ns (0 = native)")
+		policy = fs.String("policy", "Passive", "synchronization policy")
+		d      = fs.Int("d", 3, "code distance (odd, ≥ 3)")
+		tau    = fs.Float64("tau", 1000, "synchronization slack in ns")
+		p      = fs.Float64("p", 1e-3, "physical error rate")
+		basis  = fs.String("basis", "X", "merge basis (X or Z)")
+		cp     = fs.Float64("cyclep", 0, "patch P cycle in ns (0 = hardware base cycle)")
+		cpp    = fs.Float64("cyclepp", 0, "patch P' cycle in ns (0 = hardware base cycle)")
+		eps    = fs.Int64("eps", 0, "Hybrid residual-slack tolerance in ns")
+		shots  = fs.Int("shots", 0, "Monte Carlo shots (0 = 40000)")
+		seed   = fs.Uint64("seed", 0, "campaign seed (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return common.run(service.JobSpec{Type: "sweep", Sweep: &service.SweepJob{
+		Hardware: *hw, ScaleNs: *scale, Policy: *policy, D: *d, TauNs: *tau,
+		P: *p, Basis: *basis, CyclePNs: *cp, CyclePPrimeNs: *cpp,
+		EpsNs: *eps, Shots: *shots, Seed: *seed,
+	}})
+}
+
+func submitTrace(args []string) error {
+	fs := flag.NewFlagSet("submit trace", flag.ExitOnError)
+	common := addCommon(fs)
+	var (
+		in       = fs.String("in", "", "trace file to submit (overrides -workload)")
+		workload = fs.String("workload", "factory", "generated workload family: factory, random, ensemble")
+		patches  = fs.Int("patches", 8, "patch count for generated workloads")
+		merges   = fs.Int("merges", 16, "merge count for generated workloads")
+		policies = fs.String("policies", "Ideal,Passive,Active,Active-intra,ExtraRounds,Hybrid",
+			"comma-separated policies to compare")
+		hw      = fs.String("hw", "IBM", "hardware profile (IBM, Google, QuEra, IBM-Sherbrooke)")
+		scale   = fs.Float64("scale", 1000, "scale the profile so its cycle equals this many ns (0 = native)")
+		d       = fs.Int("d", 3, "code distance (odd, ≥ 3)")
+		p       = fs.Float64("p", 1e-3, "physical error rate")
+		basis   = fs.String("basis", "X", "merge basis (X or Z)")
+		eps     = fs.Int64("eps", 400, "Hybrid residual-slack tolerance in ns")
+		maxZ    = fs.Int("maxz", 5, "Hybrid extra-round bound")
+		stagger = fs.Int64("stagger", 135, "initial phase stagger between patches in ns (0 = none)")
+		shots   = fs.Int("shots", 0, "Monte Carlo shots per merge pair (0 = 4096)")
+		seed    = fs.Uint64("seed", 0, "campaign seed (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Explicit zeros mean "native" / "none" on these flags — the same
+	// semantics as `latticesim trace` — but zero in the job spec selects
+	// the spec-level defaults, so map user-given zeros to the spec's
+	// negative sentinels.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			if *scale == 0 {
+				*scale = -1
+			}
+		case "stagger":
+			if *stagger == 0 {
+				*stagger = -1
+			}
+		}
+	})
+	text := ""
+	if *in != "" {
+		b, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	}
+	return common.run(service.JobSpec{Type: "trace", Trace: &service.TraceJob{
+		TraceText: text, Workload: *workload, Patches: *patches, Merges: *merges,
+		Policies: splitList(*policies), Hardware: *hw, ScaleNs: *scale,
+		D: *d, P: *p, Basis: *basis, EpsNs: *eps, MaxZ: *maxZ,
+		StaggerNs: *stagger, Shots: *shots, Seed: *seed,
+	}})
+}

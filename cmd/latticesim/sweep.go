@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,11 +23,17 @@ func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), `usage: latticesim sweep [flags] -out DIR
+       latticesim sweep [flags] -json
 
 Expands a policy grid, runs every point through the cached build pipeline,
 and streams results to DIR/results.jsonl, DIR/results.csv and DIR/manifest.
 Rerunning with the same flags resumes an interrupted campaign: points in
 the manifest are skipped. See EXPERIMENTS.md for the record schema.
+
+With -json, canonical record lines (wall_ms zeroed — the byte-comparable
+form, exactly what the simulation service stores for the same point) are
+streamed to stdout and all progress goes to stderr; -out becomes
+optional. CLI and API outputs are interchangeable.
 
 Flags:`)
 		fs.PrintDefaults()
@@ -47,15 +54,22 @@ Flags:`)
 		seed     = fs.Uint64("seed", env.Seed, "campaign seed; point seeds derive from it (0 = default; LATTICESIM_SEED sets the default)")
 		workers  = fs.Int("workers", env.Workers, "Monte Carlo worker pool size per point (0 = GOMAXPROCS; LATTICESIM_WORKERS sets the default)")
 		maxPts   = fs.Int("max-points", 0, "stop after this many executed points (0 = whole grid); rerun to resume")
-		out      = fs.String("out", "", "output directory (required)")
+		out      = fs.String("out", "", "output directory (required unless -json)")
+		jsonOut  = fs.Bool("json", false, "stream canonical record JSON lines to stdout (the service result schema)")
 		quiet    = fs.Bool("quiet", false, "suppress per-point progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *out == "" {
+	if *out == "" && !*jsonOut {
 		fs.Usage()
-		return fmt.Errorf("-out is required")
+		return fmt.Errorf("-out is required (or use -json)")
+	}
+	// With -json, stdout carries records only; human output moves to
+	// stderr so the stream stays machine-readable.
+	logw := io.Writer(os.Stdout)
+	if *jsonOut {
+		logw = os.Stderr
 	}
 
 	grid, err := buildGrid(*hwName, *scale, *policies, *ds, *taus, *ps, *bases, *cycleP, *cyclePPs, *eps)
@@ -67,52 +81,67 @@ Flags:`)
 		return err
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return err
-	}
 	// Resolve defaults once so the manifest header pins exactly what the
 	// campaign will execute.
 	cfg := sweep.Config{Shots: *shots, Seed: *seed, Workers: *workers, MaxPoints: *maxPts}.WithDefaults()
-	manifest, err := sweep.OpenManifest(filepath.Join(*out, "manifest"), cfg.Seed, cfg.Shots, pts)
-	if err != nil {
-		return err
-	}
-	defer manifest.Close()
 
-	jsonlPath := filepath.Join(*out, "results.jsonl")
-	csvPath := filepath.Join(*out, "results.csv")
-	jsonlFile, err := os.OpenFile(jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer jsonlFile.Close()
-	csvFile, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer csvFile.Close()
-	csvInfo, err := csvFile.Stat()
-	if err != nil {
-		return err
-	}
-	csvw := sweep.NewCSVWriter(csvFile)
-	if csvInfo.Size() == 0 {
-		if err := csvw.WriteHeader(); err != nil {
+	var sinks []sweep.Sink
+	var manifest *sweep.Manifest
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return err
 		}
+		manifest, err = sweep.OpenManifest(filepath.Join(*out, "manifest"), cfg.Seed, cfg.Shots, pts)
+		if err != nil {
+			return err
+		}
+		defer manifest.Close()
+
+		jsonlPath := filepath.Join(*out, "results.jsonl")
+		csvPath := filepath.Join(*out, "results.csv")
+		jsonlFile, err := os.OpenFile(jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer jsonlFile.Close()
+		csvFile, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer csvFile.Close()
+		csvInfo, err := csvFile.Stat()
+		if err != nil {
+			return err
+		}
+		csvw := sweep.NewCSVWriter(csvFile)
+		if csvInfo.Size() == 0 {
+			if err := csvw.WriteHeader(); err != nil {
+				return err
+			}
+		}
+		sinks = append(sinks, &sweep.JSONLWriter{W: jsonlFile}, csvw)
+	}
+	if *jsonOut {
+		sinks = append(sinks, canonicalJSONSink{w: os.Stdout})
 	}
 
 	if !*quiet {
-		fmt.Printf("sweep: %d points (%d already done), %d shots each, seed %#x -> %s\n",
-			len(pts), manifest.NumDone(), cfg.Shots, cfg.Seed, *out)
-	}
-	if !*quiet {
+		done := 0
+		if manifest != nil {
+			done = manifest.NumDone()
+		}
+		dest := *out
+		if dest == "" {
+			dest = "stdout"
+		}
+		fmt.Fprintf(logw, "sweep: %d points (%d already done), %d shots each, seed %#x -> %s\n",
+			len(pts), done, cfg.Shots, cfg.Seed, dest)
 		cfg.Progress = func(pos, total int, r sweep.Record) {
 			status := fmt.Sprintf("joint=%.4g single=%.4g", r.JointRate, r.SingleRate)
 			if !r.Feasible {
 				status = "infeasible"
 			}
-			fmt.Printf("  [%d/%d] %s: %s (%.0fms)\n", pos, total, r.Key, status, r.WallMs)
+			fmt.Fprintf(logw, "  [%d/%d] %s: %s (%.0fms)\n", pos, total, r.Key, status, r.WallMs)
 		}
 	}
 
@@ -121,20 +150,40 @@ Flags:`)
 		Grid:     grid,
 		Config:   cfg,
 		Manifest: manifest,
-		Sinks:    []sweep.Sink{&sweep.JSONLWriter{W: jsonlFile}, csvw},
+		Sinks:    sinks,
 	}
 	sum, err := camp.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sweep: %d/%d points executed (%d skipped via manifest, %d infeasible), "+
+	fmt.Fprintf(logw, "sweep: %d/%d points executed (%d skipped via manifest, %d infeasible), "+
 		"cache %d hits / %d builds, %v\n",
 		sum.Executed, sum.Points, sum.Skipped, sum.Infeasible,
 		sum.CacheHits, sum.CacheMisses, time.Since(start).Round(time.Millisecond))
 	if sum.Interrupted {
-		fmt.Println("sweep: stopped at -max-points; rerun the same command to resume")
+		if manifest != nil {
+			fmt.Fprintln(logw, "sweep: stopped at -max-points; rerun the same command to resume")
+		} else {
+			fmt.Fprintln(logw, "sweep: stopped at -max-points; without -out there is no manifest, so a rerun starts over")
+		}
 	}
 	return nil
+}
+
+// canonicalJSONSink streams each record's canonical JSON line (wall_ms
+// zeroed) — the byte-comparable form the simulation service stores, so
+// `latticesim sweep -json` output diffs cleanly against
+// `latticesim submit sweep` output for the same point.
+type canonicalJSONSink struct{ w io.Writer }
+
+func (s canonicalJSONSink) Write(r sweep.Record) error {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = s.w.Write(b)
+	return err
 }
 
 // buildGrid assembles the sweep grid from the flag strings.

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,6 +33,11 @@ EXPERIMENTS.md §10 for the format) or a built-in workload family
 (-workload factory|random|ensemble). Output is deterministic for a
 fixed seed, independent of -workers.
 
+With -json, one trace.ResultSet JSON line per (d, p) grid cell — the
+same machine-readable schema the simulation service returns for trace
+jobs — is streamed to stdout, and all human-readable output moves to
+stderr, so CLI and API outputs are interchangeable.
+
 Flags:`)
 		fs.PrintDefaults()
 	}
@@ -54,6 +61,7 @@ Flags:`)
 		seed    = fs.Uint64("seed", env.Seed, "campaign seed; merge-event seeds derive from it (0 = default)")
 		workers = fs.Int("workers", env.Workers, "Monte Carlo worker pool size (0 = GOMAXPROCS; results are worker-count independent)")
 		dump    = fs.Bool("dump", false, "print the trace text before simulating (to save a generated workload)")
+		jsonOut = fs.Bool("json", false, "stream one ResultSet JSON line per (d, p) cell to stdout (the service result schema)")
 		verbose = fs.Bool("v", false, "print per-patch breakdowns")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -122,13 +130,20 @@ Flags:`)
 	if err != nil {
 		return err
 	}
-	if *dump {
-		os.Stdout.WriteString(prog.Text())
+	// With -json, stdout carries ResultSet lines only; everything human
+	// moves to stderr.
+	logw := io.Writer(os.Stdout)
+	if *jsonOut {
+		logw = os.Stderr
 	}
-	fmt.Printf("trace: %s: %d patches, %d ops (%d merges), hw=%s cycle=%.6gns basis=%s shots=%d seed=%#x\n",
+	if *dump {
+		io.WriteString(logw, prog.Text())
+	}
+	fmt.Fprintf(logw, "trace: %s: %d patches, %d ops (%d merges), hw=%s cycle=%.6gns basis=%s shots=%d seed=%#x\n",
 		source, len(prog.Patches), len(prog.Ops), prog.Merges(),
 		hw.Name, hw.CycleNs(), *basis, base.Shots, base.Seed)
 
+	jsonEnc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	for _, dv := range dList {
 		for _, pv := range pList {
@@ -138,6 +153,12 @@ Flags:`)
 			results, err := trace.SimulateAll(prog, pols, cfg)
 			if err != nil {
 				return err
+			}
+			if *jsonOut {
+				if err := jsonEnc.Encode(trace.NewResultSet(prog, cfg, source, results)); err != nil {
+					return err
+				}
+				continue
 			}
 			for _, r := range results {
 				fmt.Printf("policy=%-12s d=%d p=%g runtime_ns=%.0f sync_idle_ns=%.0f skew_wait_ns=%.0f extra_rounds=%d idle_rounds=%d fallback_pairs=%d program_ler=%.6g\n",
@@ -153,7 +174,7 @@ Flags:`)
 		}
 	}
 	hits, misses := base.Cache.Stats()
-	fmt.Printf("[trace done in %v, cache %d hits / %d builds]\n",
+	fmt.Fprintf(logw, "[trace done in %v, cache %d hits / %d builds]\n",
 		time.Since(start).Round(time.Millisecond), hits, misses)
 	return nil
 }
@@ -173,18 +194,9 @@ func loadTrace(in, workload string, patches, merges int, baseCycleNs float64, se
 		}
 		return prog, in, nil
 	}
-	switch workload {
-	case "factory":
-		factories := patches - 1
-		batches := 1
-		if factories > 0 && merges > factories {
-			batches = merges / factories
-		}
-		return trace.Factory(factories, batches, baseCycleNs), "factory workload", nil
-	case "random":
-		return trace.Random(patches, merges, baseCycleNs, seed), "random workload", nil
-	case "ensemble":
-		return trace.Ensemble(patches, merges, baseCycleNs, nil, seed), "ensemble workload", nil
+	prog, err := trace.Generate(workload, patches, merges, baseCycleNs, seed)
+	if err != nil {
+		return nil, "", err
 	}
-	return nil, "", fmt.Errorf("unknown workload %q (factory, random, ensemble)", workload)
+	return prog, workload + " workload", nil
 }

@@ -16,6 +16,8 @@
 //     below a tolerance ε (Eq. 2); the residual is distributed actively.
 package core
 
+import "fmt"
+
 // Policy identifies a synchronization policy.
 type Policy int
 
@@ -49,6 +51,27 @@ func ParsePolicy(s string) (Policy, bool) {
 		}
 	}
 	return 0, false
+}
+
+// MarshalText encodes the policy as its paper name, so policies embed in
+// JSON documents (and map keys) as "Passive" rather than an opaque
+// integer. Out-of-range values are an error, never a silent "Policy(?)".
+func (p Policy) MarshalText() ([]byte, error) {
+	if p < 0 || int(p) >= len(policyNames) {
+		return nil, fmt.Errorf("core: cannot marshal out-of-range policy %d", int(p))
+	}
+	return []byte(policyNames[p]), nil
+}
+
+// UnmarshalText decodes a policy name via ParsePolicy, making Policy a
+// round-trip JSON citizen for every machine-readable result schema.
+func (p *Policy) UnmarshalText(text []byte) error {
+	pol, ok := ParsePolicy(string(text))
+	if !ok {
+		return fmt.Errorf("core: unknown policy %q", string(text))
+	}
+	*p = pol
+	return nil
 }
 
 // Params describes one two-patch synchronization problem. All durations

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// allPolicies enumerates every defined policy; tests iterating it break
+// loudly if a new policy is added without updating the name table.
+var allPolicies = []Policy{Ideal, Passive, Active, ActiveIntra, ExtraRounds, Hybrid}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	wantNames := map[Policy]string{
+		Ideal: "Ideal", Passive: "Passive", Active: "Active",
+		ActiveIntra: "Active-intra", ExtraRounds: "ExtraRounds", Hybrid: "Hybrid",
+	}
+	if len(wantNames) != len(allPolicies) {
+		t.Fatalf("test tables disagree: %d names for %d policies", len(wantNames), len(allPolicies))
+	}
+	for _, pol := range allPolicies {
+		name := pol.String()
+		if name != wantNames[pol] {
+			t.Errorf("%d.String() = %q, want %q (paper names are frozen)", int(pol), name, wantNames[pol])
+		}
+		back, ok := ParsePolicy(name)
+		if !ok || back != pol {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, true", name, back, ok, pol)
+		}
+	}
+	// Parsing is case-sensitive and exact: near misses must not resolve.
+	for _, bad := range []string{"", "passive", "PASSIVE", " Passive", "Passive ", "Active_intra", "Policy(?)", "nope"} {
+		if pol, ok := ParsePolicy(bad); ok {
+			t.Errorf("ParsePolicy(%q) unexpectedly resolved to %v", bad, pol)
+		}
+	}
+}
+
+func TestPolicyStringOutOfRange(t *testing.T) {
+	for _, pol := range []Policy{-1, -100, Hybrid + 1, 1000} {
+		if got := pol.String(); got != "Policy(?)" {
+			t.Errorf("Policy(%d).String() = %q, want \"Policy(?)\"", int(pol), got)
+		}
+		// The placeholder must never round-trip back to a valid policy.
+		if back, ok := ParsePolicy(pol.String()); ok {
+			t.Errorf("ParsePolicy(%q) resolved out-of-range policy %d to %v", pol.String(), int(pol), back)
+		}
+		// JSON marshaling refuses out-of-range values instead of emitting
+		// the placeholder into machine-readable output.
+		if _, err := pol.MarshalText(); err == nil {
+			t.Errorf("Policy(%d).MarshalText() succeeded, want error", int(pol))
+		}
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	for _, pol := range allPolicies {
+		b, err := json.Marshal(pol)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", pol, err)
+		}
+		if want := `"` + pol.String() + `"`; string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", pol, b, want)
+		}
+		var back Policy
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != pol {
+			t.Errorf("JSON round trip %v → %v", pol, back)
+		}
+	}
+	var pol Policy
+	if err := json.Unmarshal([]byte(`"Pasive"`), &pol); err == nil {
+		t.Error("unmarshal of a misspelled policy succeeded")
+	}
+	if err := json.Unmarshal([]byte(`3`), &pol); err == nil {
+		t.Error("unmarshal of a bare integer succeeded; policies are names on the wire")
+	}
+}

@@ -21,6 +21,7 @@ package mc
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"latticesim/internal/circuit"
 	"latticesim/internal/decoder"
@@ -93,6 +94,16 @@ type Pipeline struct {
 	// parallel.go and DESIGN.md §5).
 	Workers int
 
+	// Progress, when non-nil, is invoked by the decode entry points (Run,
+	// RunWithDecoder, RunWithDecoders) after each completed shard with the
+	// cumulative number of finished shots and the run's total budget. It
+	// observes only — results are bit-identical with or without it — but
+	// it may be called concurrently from worker goroutines (cumulative
+	// counts are monotone, not ordered) and on the hot path, so it must be
+	// cheap and race-free. The service layer uses it to stream shot-level
+	// progress events (DESIGN.md §11).
+	Progress func(doneShots, totalShots int)
+
 	// interpret forces the uncompiled circuit.Ops sampler path. Compiled
 	// execution is bit-identical to interpretation, so this exists only
 	// for the equivalence tests that prove it.
@@ -136,12 +147,18 @@ type lerState struct {
 // one decoder per worker supplied by newDec.
 func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
 	newSampler := p.samplerFactory()
+	var doneShots atomic.Int64
+	progress := p.Progress
 	parts := runShards(shardPlan(shots), workers,
 		func() lerState {
 			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
 		},
 		func(st lerState, sh shard) LERResult {
-			return p.runShardLER(st, sh, seed)
+			res := p.runShardLER(st, sh, seed)
+			if progress != nil {
+				progress(int(doneShots.Add(int64(sh.shots))), shots)
+			}
+			return res
 		})
 	total := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
 	for _, part := range parts {

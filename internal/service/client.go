@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is the Go client of the simulation service HTTP API, used by
+// `latticesim submit`, the examples and the end-to-end tests. The zero
+// value is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8642".
+	BaseURL string
+	// HTTPClient is the transport (nil = http.DefaultClient). Watch
+	// holds one request open for the job's whole runtime, so clients
+	// with aggressive timeouts should scope them per call via ctx.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiErr converts a non-2xx response into an error, preferring the
+// server's JSON error envelope.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e apiError
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns its initial status — possibly
+// already done when the server answered from its result store (check
+// CacheHit / State).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiErr(resp)
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), &st)
+	return st, err
+}
+
+// Watch follows a job's NDJSON status stream, invoking fn (which may be
+// nil) on every snapshot, and returns the terminal status.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"?watch=1", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiErr(resp)
+	}
+	var last JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return last, fmt.Errorf("service: watch stream: %w", err)
+		}
+		if fn != nil {
+			fn(last)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if !last.Terminal() {
+		return last, fmt.Errorf("service: watch stream for %s ended before a terminal state", id)
+	}
+	return last, nil
+}
+
+// Result fetches the stored result blob under a content key. The bytes
+// are served verbatim from the store, so identical jobs always read
+// identical bytes.
+func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/results/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Run is the whole submit→watch→fetch round trip: it submits the spec,
+// follows progress (fn may be nil), and returns the terminal status
+// with the result bytes (nil when the job failed — the status carries
+// the error).
+func (c *Client) Run(ctx context.Context, spec JobSpec, fn func(JobStatus)) (JobStatus, []byte, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return st, nil, err
+	}
+	if fn != nil {
+		fn(st)
+	}
+	if !st.Terminal() {
+		if st, err = c.Watch(ctx, st.ID, fn); err != nil {
+			return st, nil, err
+		}
+	}
+	if st.State != StateDone {
+		return st, nil, nil
+	}
+	data, err := c.Result(ctx, st.Key)
+	return st, data, err
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.getJSON(ctx, "/v1/stats", &st)
+	return st, err
+}

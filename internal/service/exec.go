@@ -1,0 +1,80 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"latticesim/internal/sweep"
+	"latticesim/internal/trace"
+)
+
+// execute runs one resolved job through the batch layer and returns the
+// canonical result bytes that go into the store. Everything here is
+// deterministic: volatile fields (wall times) are zeroed or absent, so
+// two executions of the same resolved spec produce identical bytes.
+func (s *Server) execute(j *job) ([]byte, error) {
+	r := j.res
+	switch {
+	case r.spec.Type == "sweep":
+		return s.executeSweep(j)
+	case r.spec.Type == "trace":
+		return s.executeTrace(j)
+	}
+	return nil, fmt.Errorf("service: unresolvable job type %q", r.spec.Type)
+}
+
+// executeSweep runs the job's single campaign point via the shared
+// build cache, streaming shot-level progress into the job status, and
+// canonicalizes the record (wall_ms zeroed — the only nondeterministic
+// field) so re-submissions serve bit-identical bytes.
+func (s *Server) executeSweep(j *job) ([]byte, error) {
+	cfg := j.res.scfg
+	cfg.Workers = s.opts.MCWorkers
+	cfg.ShotProgress = func(done, total int) {
+		j.update(func(st *JobStatus) {
+			// Shot counts arrive concurrently from Monte Carlo workers and
+			// are cumulative but unordered; keep only forward motion so a
+			// late-arriving smaller count can't roll a finished job's
+			// progress back.
+			if done > st.Progress.Done {
+				st.Progress = Progress{Done: done, Total: total, Unit: "shots"}
+			}
+		})
+	}
+	rec, err := sweep.ExecutePoint(s.opts.Cache, j.res.pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rec.CanonicalJSON()
+}
+
+// executeTrace simulates the job's program under each policy in
+// request order, sharing the server build cache, and reports progress
+// in merge events summed across policies. The assembled ResultSet
+// deliberately carries no Source label: stored bytes must be a pure
+// function of the content address, and the source (a file name, a
+// workload label) is submission metadata, not physics.
+func (s *Server) executeTrace(j *job) ([]byte, error) {
+	cfg := j.res.tcfg
+	cfg.Workers = s.opts.MCWorkers
+	cfg.Cache = s.opts.Cache
+	prog, pols := j.res.prog, j.res.pols
+	perPolicy := prog.Merges()
+	total := perPolicy * len(pols)
+	results := make([]*trace.Result, 0, len(pols))
+	for i, pol := range pols {
+		offset := i * perPolicy
+		cfg.Progress = func(done, _ int) {
+			j.update(func(st *JobStatus) {
+				st.Progress = Progress{Done: offset + done, Total: total, Unit: "merges"}
+			})
+		}
+		res, err := trace.Simulate(prog, pol, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", pol, err)
+		}
+		results = append(results, res)
+	}
+	rs := trace.NewResultSet(prog, cfg, "", results)
+	return json.Marshal(rs)
+}

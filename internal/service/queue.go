@@ -1,0 +1,428 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"latticesim/internal/sweep"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue has no room;
+// the HTTP layer maps it to 503 so clients can back off and retry.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("service: server is shutting down")
+
+// Options configures a Server. The zero value is usable: a memory-only
+// store, 2 queue workers, a 64-deep queue, and a private build cache.
+type Options struct {
+	// DataDir roots the content-addressed result store; "" keeps results
+	// in memory only (they die with the process).
+	DataDir string
+	// Workers is the number of queue workers executing jobs concurrently
+	// (0 = 2). Results never depend on it.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs
+	// (0 = 64); submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// MCWorkers is the Monte Carlo worker-pool size each running job
+	// uses (0 = GOMAXPROCS). With several queue workers, a small value
+	// avoids oversubscribing the CPUs; results never depend on it.
+	MCWorkers int
+	// JobHistory bounds the job registry (0 = 4096): when exceeded, the
+	// oldest *terminal* jobs are evicted so an always-on server's memory
+	// stays flat under sustained submissions. Results are unaffected —
+	// they live in the content-addressed store — only the evicted job
+	// IDs stop resolving on GET /v1/jobs/{id}. Queued and running jobs
+	// are never evicted.
+	JobHistory int
+	// Cache, when non-nil, is the shared build cache; otherwise the
+	// server creates one for its lifetime. Every job executed by the
+	// server reuses it, so repeated specs skip circuit/DEM/decoder-graph
+	// builds even across different jobs.
+	Cache *sweep.BuildCache
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.JobHistory == 0 {
+		o.JobHistory = 4096
+	}
+	if o.Cache == nil {
+		o.Cache = sweep.NewBuildCache()
+	}
+	return o
+}
+
+// job pairs a resolved spec with its mutable status. Watchers observe
+// updates through the changed channel, which is closed and replaced on
+// every mutation (a broadcast that never blocks the updater).
+type job struct {
+	res *resolvedJob
+
+	mu      sync.Mutex
+	status  JobStatus
+	changed chan struct{}
+}
+
+func newJob(id string, r *resolvedJob, state string, cacheHit bool) *job {
+	return &job{
+		res: r,
+		status: JobStatus{
+			ID: id, State: state, CacheHit: cacheHit, Key: r.key,
+			Spec: &r.spec, QueuedMs: time.Now().UnixMilli(),
+		},
+		changed: make(chan struct{}),
+	}
+}
+
+// snapshot returns a copy of the current status.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// update mutates the status under the lock and wakes every watcher.
+func (j *job) update(fn func(*JobStatus)) {
+	j.mu.Lock()
+	fn(&j.status)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// watch streams status snapshots to fn (nil is allowed) until the job
+// reaches a terminal state or the context ends, and returns the last
+// snapshot seen. Every state change is observed; intermediate progress
+// snapshots may be coalesced.
+func (j *job) watch(ctx context.Context, fn func(JobStatus) error) (JobStatus, error) {
+	for {
+		j.mu.Lock()
+		st := j.status
+		ch := j.changed
+		j.mu.Unlock()
+		if fn != nil {
+			if err := fn(st); err != nil {
+				return st, err
+			}
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Server is the embeddable simulation service: a bounded job queue, a
+// worker pool sharing one build cache, and a content-addressed result
+// store. Create one with New, expose it over HTTP via Handler, and stop
+// it with Close. All methods are safe for concurrent use.
+type Server struct {
+	opts  Options
+	store *Store
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // job IDs in submission order
+	inflight map[string]*job // content key → live (queued/running) job
+	nextID   int
+	closed   bool
+	hits     int // submissions served straight from the store
+
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New starts a server: it opens the store and launches the worker pool.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	store, err := OpenStore(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		store:    store,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		queue:    make(chan *job, opts.QueueDepth),
+		quit:     make(chan struct{}),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the server's result store (read-mostly: the HTTP layer
+// serves GET /v1/results/{key} straight from it).
+func (s *Server) Store() *Store { return s.store }
+
+// Submit resolves, deduplicates and enqueues a job, returning its
+// initial status:
+//
+//   - a result already in the store answers immediately with a done,
+//     cache-hit job (no work queued);
+//   - an identical job still in flight coalesces — the same JobStatus
+//     (same ID) is returned to both submitters;
+//   - otherwise the job enters the bounded queue, or ErrQueueFull.
+//
+// Spec errors are reported as *SpecError so transports can distinguish
+// a bad request from server trouble.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	r, err := spec.resolve()
+	if err != nil {
+		return JobStatus{}, &SpecError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	// Dedup order matters and must happen under the server lock: a live
+	// job covers the key until finishJob removes it (which happens only
+	// after the result is stored), so checking in-flight first and the
+	// store second leaves no window in which a finishing job's
+	// resubmission could re-queue and recompute. Blobs are small, so a
+	// store read under the lock is cheap.
+	if live, exists := s.inflight[r.key]; exists {
+		return live.snapshot(), nil
+	}
+	if _, ok, err := s.store.Get(r.key); err != nil {
+		return JobStatus{}, err
+	} else if ok {
+		j := s.addJobLocked(r, StateDone, true)
+		j.status.DoneMs = time.Now().UnixMilli()
+		s.hits++
+		return j.snapshot(), nil
+	}
+	j := s.addJobLocked(r, StateQueued, false)
+	select {
+	case s.queue <- j:
+	default:
+		// Roll the registration back so the failed submission leaves no
+		// phantom job behind.
+		delete(s.jobs, j.status.ID)
+		s.order = s.order[:len(s.order)-1]
+		return JobStatus{}, ErrQueueFull
+	}
+	s.inflight[r.key] = j
+	return j.snapshot(), nil
+}
+
+// addJobLocked registers a new job under the next ID and evicts the
+// oldest terminal jobs beyond the retention cap. Caller holds s.mu.
+func (s *Server) addJobLocked(r *resolvedJob, state string, cacheHit bool) *job {
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, r, state, cacheHit)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	for len(s.order) > s.opts.JobHistory {
+		evicted := false
+		for i, old := range s.order {
+			// Never evict the job being registered: its ID is about to be
+			// handed to the submitter (possible when every older job is
+			// still live, e.g. a cache hit landing on a full queue).
+			if old == id {
+				continue
+			}
+			if s.jobs[old].snapshot().Terminal() {
+				delete(s.jobs, old)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			// Everything retained is still queued or running; let the
+			// registry run over the cap rather than lose live jobs (the
+			// bounded queue already limits how far over it can get).
+			break
+		}
+	}
+	return j
+}
+
+// Job returns the status of a submitted job.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs lists every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Watch streams a job's status snapshots to fn until it reaches a
+// terminal state (or ctx ends) and returns the final snapshot.
+func (s *Server) Watch(ctx context.Context, id string, fn func(JobStatus) error) (JobStatus, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false, nil
+	}
+	st, err := j.watch(ctx, fn)
+	return st, true, err
+}
+
+// Stats is the server-level counter snapshot of GET /v1/stats.
+type Stats struct {
+	// Jobs counts every submission that registered a job, by state.
+	Jobs    int `json:"jobs"`
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// StoreHits counts submissions answered from the result store;
+	// StorePuts counts results written by this process.
+	StoreHits int `json:"store_hits"`
+	StorePuts int `json:"store_puts"`
+	// BuildHits / BuildMisses are the shared sweep.BuildCache counters:
+	// artifact fetches served without building vs. builds performed.
+	BuildHits   int `json:"build_hits"`
+	BuildMisses int `json:"build_misses"`
+}
+
+// Stats reports the current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	var st Stats
+	st.Jobs = len(s.order)
+	st.StoreHits = s.hits
+	for _, id := range s.order {
+		switch s.jobs[id].snapshot().State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	s.mu.Unlock()
+	st.StorePuts = s.store.Stats()
+	st.BuildHits, st.BuildMisses = s.opts.Cache.Stats()
+	return st
+}
+
+// Close stops the server: no new submissions are accepted, running jobs
+// finish, and jobs still queued are failed with ErrClosed's message.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.quit)
+	s.wg.Wait()
+	// Workers are gone; whatever is left in the queue never started.
+	for {
+		select {
+		case j := <-s.queue:
+			s.failJob(j, ErrClosed.Error())
+		default:
+			return
+		}
+	}
+}
+
+// worker drains the queue until Close. The quit check is first so a
+// shutting-down server stops picking up new work even while the queue
+// is non-empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one queued job and stores its result.
+func (s *Server) runJob(j *job) {
+	j.update(func(st *JobStatus) { st.State = StateRunning })
+	data, err := s.execute(j)
+	if err != nil {
+		s.failJob(j, err.Error())
+		return
+	}
+	if err := s.store.Put(j.res.key, data); err != nil {
+		s.failJob(j, err.Error())
+		return
+	}
+	s.finishJob(j, func(st *JobStatus) {
+		st.State = StateDone
+		st.DoneMs = time.Now().UnixMilli()
+	})
+}
+
+func (s *Server) failJob(j *job, msg string) {
+	s.finishJob(j, func(st *JobStatus) {
+		st.State = StateFailed
+		st.Error = msg
+		st.DoneMs = time.Now().UnixMilli()
+	})
+}
+
+// finishJob applies the terminal update and releases the in-flight
+// dedup slot (after the store write, so a coalescing submission either
+// joins this job or hits the stored result — never reruns).
+func (s *Server) finishJob(j *job, fn func(*JobStatus)) {
+	j.update(fn)
+	s.mu.Lock()
+	if s.inflight[j.res.key] == j {
+		delete(s.inflight, j.res.key)
+	}
+	s.mu.Unlock()
+}
+
+// SpecError marks a submission rejected for a malformed or invalid
+// spec, as opposed to server-side trouble.
+type SpecError struct{ Err error }
+
+func (e *SpecError) Error() string { return e.Err.Error() }
+func (e *SpecError) Unwrap() error { return e.Err }

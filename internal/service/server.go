@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs           submit a JobSpec; 200 JobStatus, 400 bad
+//	                        spec, 503 queue full (retry later)
+//	GET  /v1/jobs           list all jobs in submission order
+//	GET  /v1/jobs/{id}      one job's status; with ?watch=1, an NDJSON
+//	                        stream of status snapshots that ends when
+//	                        the job reaches a terminal state
+//	GET  /v1/results/{key}  the stored result blob (application/json)
+//	GET  /v1/stats          server counters (queue, store, build cache)
+//	GET  /healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// maxSpecBytes bounds submission bodies; trace texts are small (a few
+// KB for hundreds of ops), so 4 MiB is generous without inviting abuse.
+const maxSpecBytes = 4 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.As(err, new(*SpecError)):
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("watch") == "" {
+		st, ok := s.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+
+	// Streaming mode: one JSON status snapshot per line, flushed as it
+	// happens, ending with the terminal snapshot. Clients follow a job
+	// with a single long-poll-free request.
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	first := true
+	_, ok, err := s.Watch(r.Context(), id, func(st JobStatus) error {
+		// Intermediate progress snapshots drop the (constant, possibly
+		// large) spec echo; the first and terminal lines carry it.
+		if !first && !st.Terminal() {
+			st.Spec = nil
+		}
+		first = false
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	// err is a dead client or a cancelled request — nothing useful can
+	// be written to them anymore.
+	_ = err
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok, err := s.store.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result stored under %q", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

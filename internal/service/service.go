@@ -1,0 +1,430 @@
+// Package service is the always-on serving layer over the batch
+// simulator: an embeddable job-queue server (exposed as `latticesim
+// serve`) with a small HTTP/JSON API, a bounded worker pool, and a
+// content-addressed result store.
+//
+// Two job kinds exist, mirroring the two batch entry points. A sweep job
+// executes one campaign point (internal/sweep) and yields the point's
+// canonical Record JSON; a trace job simulates one lattice-surgery
+// program under a set of policies (internal/trace) and yields a
+// trace.ResultSet JSON document. Jobs are submitted with POST /v1/jobs,
+// observed with GET /v1/jobs/{id} (optionally as a streaming NDJSON
+// progress feed with ?watch=1), and their results fetched with
+// GET /v1/results/{key}.
+//
+// The determinism contract of the batch layer carries over unchanged to
+// the service boundary: a job's result is a pure function of its
+// resolved spec — independent of worker counts, queue order, and of
+// which other jobs share the server — so every result is stored under a
+// content address derived from the spec alone (the canonical Point.Key /
+// trace text plus the campaign seed and shot budget, hashed with
+// SHA-256). A re-submitted job is recognized before it is queued and
+// served from the store bit-identically and near-instantly, with its
+// status marked as a cache hit; identical jobs that are still in flight
+// coalesce onto the live job instead of queueing twice. All executed
+// jobs share one process-wide sweep.BuildCache, so even distinct jobs
+// reuse each other's circuit/DEM/decoder-graph builds.
+//
+// See DESIGN.md §11 for the architecture and EXPERIMENTS.md §11 for
+// replaying figure sweeps through the server.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
+	"latticesim/internal/trace"
+)
+
+// resultSchemaVersion is baked into every content address, so a breaking
+// change to a stored result schema (sweep.Record, trace.ResultSet)
+// must bump it — old store entries then simply miss instead of serving
+// stale-schema bytes.
+const resultSchemaVersion = 1
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobSpec is the submission body of POST /v1/jobs: exactly one of Sweep
+// or Trace must be set, matching Type.
+type JobSpec struct {
+	// Type selects the job kind: "sweep" or "trace".
+	Type string `json:"type"`
+	// Sweep configures a single sweep-point job (Type "sweep").
+	Sweep *SweepJob `json:"sweep,omitempty"`
+	// Trace configures a trace-simulation job (Type "trace").
+	Trace *TraceJob `json:"trace,omitempty"`
+}
+
+// SweepJob is one campaign point: the same coordinates a `latticesim
+// sweep` grid cell has, with the same defaults. Its result is the
+// point's canonical sweep.Record JSON (wall_ms zeroed), byte-identical
+// to what `latticesim sweep -json` emits for the same coordinates.
+type SweepJob struct {
+	// Hardware is the profile name (IBM, Google, QuEra, IBM-Sherbrooke;
+	// "" = IBM).
+	Hardware string `json:"hardware,omitempty"`
+	// ScaleNs, when > 0, scales the profile so its cycle equals this
+	// many ns (the paper's §7.3 grids use 1000).
+	ScaleNs float64 `json:"scale_ns,omitempty"`
+	// Policy is the synchronization policy name (required).
+	Policy string `json:"policy"`
+	// D is the code distance, odd and ≥ 3 (0 = 3).
+	D int `json:"d,omitempty"`
+	// TauNs is the synchronization slack τ in ns (0 = 1000).
+	TauNs float64 `json:"tau_ns,omitempty"`
+	// P is the physical error rate (0 = 1e-3).
+	P float64 `json:"p,omitempty"`
+	// Basis is the merge basis: X/XX or Z/ZZ ("" = X).
+	Basis string `json:"basis,omitempty"`
+	// CyclePNs and CyclePPrimeNs are the patch cycle times in ns
+	// (0 = the hardware base cycle).
+	CyclePNs      float64 `json:"cycle_p_ns,omitempty"`
+	CyclePPrimeNs float64 `json:"cycle_pprime_ns,omitempty"`
+	// EpsNs is the Hybrid residual-slack tolerance in ns.
+	EpsNs int64 `json:"eps_ns,omitempty"`
+	// Shots is the Monte Carlo budget (0 = 40000). Seed is the campaign
+	// seed the point seed derives from (0 = 0xC0FFEE). Both are part of
+	// the result's content address. Seed is a JSON number; values above
+	// 2^53 should be avoided in hand-written specs (double-precision
+	// tooling rounds them).
+	Shots int    `json:"shots,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// TraceJob is one whole-program simulation: a trace (inline text or a
+// generated workload family) run under one or more policies at one
+// (d, p) coordinate. Its result is a trace.ResultSet JSON document,
+// schema-identical to a `latticesim trace -json` grid-cell line.
+type TraceJob struct {
+	// TraceText is the program in trace text format (EXPERIMENTS.md
+	// §10). When empty, a workload is generated instead.
+	TraceText string `json:"trace_text,omitempty"`
+	// Workload is the generated family when TraceText is empty:
+	// factory, random or ensemble ("" = factory).
+	Workload string `json:"workload,omitempty"`
+	// Patches and Merges shape generated workloads (0 = 8 patches,
+	// 16 merges), with the same semantics as `latticesim trace`.
+	Patches int `json:"patches,omitempty"`
+	Merges  int `json:"merges,omitempty"`
+	// Policies are the synchronization policies to compare (required,
+	// at least one).
+	Policies []string `json:"policies"`
+	// Hardware is the profile name ("" = IBM). ScaleNs scales it so the
+	// base cycle equals this many ns; 0 selects the CLI default of 1000
+	// (the paper's §7.3 T_P), negative values keep the native cycle.
+	Hardware string  `json:"hardware,omitempty"`
+	ScaleNs  float64 `json:"scale_ns,omitempty"`
+	// D, P and Basis are the merge coordinates (0/"" = 3, 1e-3, X).
+	D     int     `json:"d,omitempty"`
+	P     float64 `json:"p,omitempty"`
+	Basis string  `json:"basis,omitempty"`
+	// EpsNs, MaxZ and StaggerNs follow trace.Config semantics
+	// (0 = 400ns, 5, 135ns; negative StaggerNs = none).
+	EpsNs     int64 `json:"eps_ns,omitempty"`
+	MaxZ      int   `json:"max_z,omitempty"`
+	StaggerNs int64 `json:"stagger_ns,omitempty"`
+	// Shots per merge pair (0 = 4096) and the campaign seed (0 =
+	// 0xC0FFEE); both are part of the result's content address.
+	Shots int    `json:"shots,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// Progress reports a job's completion fraction in its native unit:
+// "shots" for sweep jobs, "merges" (summed across policies) for trace
+// jobs.
+type Progress struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Unit  string `json:"unit,omitempty"`
+}
+
+// JobStatus is the API's view of one job, returned by submission,
+// GET /v1/jobs/{id}, and (as an NDJSON stream of snapshots) ?watch=1.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// CacheHit reports that the submission was answered from the
+	// content-addressed store without queueing any work.
+	CacheHit bool `json:"cache_hit"`
+	// Key is the result's content address, known at submission time;
+	// fetch the result bytes with GET /v1/results/{key} once State is
+	// "done".
+	Key      string   `json:"key"`
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	// Spec echoes the normalized submission. The resolved spec is
+	// immutable and shared by every snapshot of a job; to keep ?watch=1
+	// streams light (a trace spec embeds the whole program text), the
+	// server omits it from intermediate progress snapshots — it is
+	// always present on the submission response, plain GETs, and the
+	// first and terminal lines of a watch stream.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Wall-clock bookkeeping (Unix milliseconds; 0 = not yet). Like
+	// every timing field in the repo, these carry no determinism
+	// guarantee.
+	QueuedMs int64 `json:"queued_unix_ms,omitempty"`
+	DoneMs   int64 `json:"done_unix_ms,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s JobStatus) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed
+}
+
+// resolvedJob is a validated, fully defaulted job: everything execution
+// needs plus the canonical descriptor its content address hashes.
+type resolvedJob struct {
+	spec JobSpec // normalized echo
+
+	// Sweep jobs.
+	pt   sweep.Point
+	scfg sweep.Config
+
+	// Trace jobs.
+	prog *trace.Program
+	tcfg trace.Config
+	pols []core.Policy
+
+	canonical string
+	key       string
+}
+
+// resolveHW maps a profile name + scale to a concrete hardware config.
+// scale semantics are the job-spec ones: > 0 scales, else def applies
+// (0 for sweep jobs, 1000 for trace jobs with negative = native).
+func resolveHW(name string, scale, def float64) (hardware.Config, error) {
+	if name == "" {
+		name = "IBM"
+	}
+	hw, ok := hardware.ByName(name)
+	if !ok {
+		return hw, fmt.Errorf("unknown hardware profile %q (IBM, Google, QuEra, IBM-Sherbrooke)", name)
+	}
+	if scale == 0 {
+		scale = def
+	}
+	if scale > 0 {
+		hw = hw.Scaled(scale)
+	}
+	return hw, nil
+}
+
+func parseBasis(s string) (surface.Basis, error) {
+	switch s {
+	case "", "X", "XX":
+		return surface.BasisX, nil
+	case "Z", "ZZ":
+		return surface.BasisZ, nil
+	}
+	return 0, fmt.Errorf("unknown basis %q (X or Z)", s)
+}
+
+// resolve validates the spec and computes its content address. It is
+// the single normalization point: the server resolves every submission
+// through it, and ContentKey exposes the address it derives so clients
+// can predict a result key without contacting a server.
+func (s JobSpec) resolve() (*resolvedJob, error) {
+	switch s.Type {
+	case "sweep":
+		if s.Sweep == nil || s.Trace != nil {
+			return nil, fmt.Errorf("type %q requires exactly the sweep field", s.Type)
+		}
+		return resolveSweep(*s.Sweep)
+	case "trace":
+		if s.Trace == nil || s.Sweep != nil {
+			return nil, fmt.Errorf("type %q requires exactly the trace field", s.Type)
+		}
+		return resolveTrace(*s.Trace)
+	}
+	return nil, fmt.Errorf("unknown job type %q (sweep or trace)", s.Type)
+}
+
+// ContentKey resolves the spec and returns the content address its
+// result is (or will be) stored under.
+func (s JobSpec) ContentKey() (string, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return "", err
+	}
+	return r.key, nil
+}
+
+func resolveSweep(j SweepJob) (*resolvedJob, error) {
+	hw, err := resolveHW(j.Hardware, j.ScaleNs, 0)
+	if err != nil {
+		return nil, err
+	}
+	pol, ok := core.ParsePolicy(j.Policy)
+	if !ok {
+		return nil, fmt.Errorf("unknown policy %q (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)", j.Policy)
+	}
+	basis, err := parseBasis(j.Basis)
+	if err != nil {
+		return nil, err
+	}
+	if j.D == 0 {
+		j.D = 3
+	}
+	if j.D < 3 || j.D%2 == 0 {
+		return nil, fmt.Errorf("distance %d must be odd and ≥ 3", j.D)
+	}
+	if j.TauNs == 0 {
+		j.TauNs = 1000
+	}
+	if j.P == 0 {
+		j.P = 1e-3
+	}
+	if j.P < 0 || j.P >= 0.5 {
+		return nil, fmt.Errorf("error rate %v out of range [0, 0.5)", j.P)
+	}
+	if j.Shots < 0 {
+		return nil, fmt.Errorf("shots %d must be ≥ 0", j.Shots)
+	}
+	cycleP, cyclePP := j.CyclePNs, j.CyclePPrimeNs
+	if cycleP == 0 {
+		cycleP = hw.CycleNs()
+	}
+	if cyclePP == 0 {
+		cyclePP = hw.CycleNs()
+	}
+	pt := sweep.Point{
+		HW: hw, Policy: pol, D: j.D, TauNs: j.TauNs, P: j.P, Basis: basis,
+		CyclePNs: cycleP, CyclePPrimeNs: cyclePP, EpsNs: j.EpsNs,
+	}
+	cfg := sweep.Config{Shots: j.Shots, Seed: j.Seed}.WithDefaults()
+
+	r := &resolvedJob{pt: pt, scfg: cfg}
+	// The echo must round-trip: resubmitting it has to resolve to the
+	// same hardware (ScaleNs included — the profile's latencies scale,
+	// not just the cycle times the Cycle*Ns fields capture) and hence
+	// the same content key.
+	r.spec = JobSpec{Type: "sweep", Sweep: &SweepJob{
+		Hardware: hw.Name, ScaleNs: j.ScaleNs, Policy: pol.String(), D: j.D,
+		TauNs: j.TauNs, P: j.P, Basis: basis.String(),
+		CyclePNs: cycleP, CyclePPrimeNs: cyclePP,
+		EpsNs: j.EpsNs, Shots: cfg.Shots, Seed: cfg.Seed,
+	}}
+	// The content address reuses the frozen sweep identities: the
+	// canonical point key (which embeds the full hardware fingerprint,
+	// so ScaleNs needs no separate line) plus the execution parameters
+	// that feed the record.
+	r.canonical = fmt.Sprintf("latticesim-result-v%d\ntype=sweep\npoint=%s\nseed=%d\nshots=%d\n",
+		resultSchemaVersion, pt.Key(), cfg.Seed, cfg.Shots)
+	r.key = contentKey(r.canonical)
+	return r, nil
+}
+
+func resolveTrace(j TraceJob) (*resolvedJob, error) {
+	hw, err := resolveHW(j.Hardware, j.ScaleNs, 1000)
+	if err != nil {
+		return nil, err
+	}
+	basis, err := parseBasis(j.Basis)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.Policies) == 0 {
+		return nil, fmt.Errorf("trace job needs at least one policy")
+	}
+	var pols []core.Policy
+	for _, name := range j.Policies {
+		pol, ok := core.ParsePolicy(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)", name)
+		}
+		pols = append(pols, pol)
+	}
+	if j.D != 0 && (j.D < 3 || j.D%2 == 0) {
+		return nil, fmt.Errorf("distance %d must be odd and ≥ 3", j.D)
+	}
+	if j.P < 0 || j.P >= 0.5 {
+		return nil, fmt.Errorf("error rate %v out of range [0, 0.5)", j.P)
+	}
+	if j.Shots < 0 {
+		return nil, fmt.Errorf("shots %d must be ≥ 0", j.Shots)
+	}
+	cfg := trace.Config{
+		HW: hw, D: j.D, P: j.P, Basis: basis, EpsNs: j.EpsNs, MaxZ: j.MaxZ,
+		Shots: j.Shots, Seed: j.Seed, StaggerNs: j.StaggerNs,
+	}.WithDefaults()
+
+	var prog *trace.Program
+	source := ""
+	if j.TraceText != "" {
+		prog, err = trace.ParseString(j.TraceText)
+		if err != nil {
+			return nil, fmt.Errorf("trace_text: %w", err)
+		}
+	} else {
+		source = j.Workload
+		if source == "" {
+			source = "factory"
+		}
+		prog, err = trace.Generate(j.Workload, j.Patches, j.Merges, hw.CycleNs(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Merges() == 0 {
+		return nil, fmt.Errorf("trace program has no MERGE operations")
+	}
+
+	// Canonicalize the program through its round-trip text form, so a
+	// file with comments, a hand-typed equivalent, and the generated
+	// workload that produced it all share one content address.
+	text := prog.Text()
+	names := make([]string, len(pols))
+	for i, pol := range pols {
+		names[i] = pol.String()
+	}
+	stagger := cfg.StaggerNs
+	if stagger < 0 {
+		stagger = 0 // every negative sentinel means the same "none"
+	}
+	r := &resolvedJob{prog: prog, tcfg: cfg, pols: pols}
+	// The echo must round-trip to the same hardware and content key, so
+	// the scale is normalized (0 → the 1000ns default, negatives → -1
+	// "native") and echoed alongside the profile name.
+	echoScale := j.ScaleNs
+	if echoScale == 0 {
+		echoScale = 1000
+	} else if echoScale < 0 {
+		echoScale = -1
+	}
+	r.spec = JobSpec{Type: "trace", Trace: &TraceJob{
+		TraceText: text, Workload: source, Policies: names,
+		Hardware: hw.Name, ScaleNs: echoScale, D: cfg.D, P: cfg.P,
+		Basis: basis.String(), EpsNs: cfg.EpsNs, MaxZ: cfg.MaxZ,
+		StaggerNs: cfg.StaggerNs, Shots: cfg.Shots, Seed: cfg.Seed,
+	}}
+	r.canonical = fmt.Sprintf("latticesim-result-v%d\ntype=trace\nhw=%s\nd=%d\np=%s\nbasis=%s\neps=%d\nmaxz=%d\nstagger=%d\nshots=%d\nseed=%d\npolicies=%s\ntrace:\n%s",
+		resultSchemaVersion, sweep.HardwareKey(hw), cfg.D,
+		strconv.FormatFloat(cfg.P, 'g', -1, 64), basis.String(),
+		cfg.EpsNs, cfg.MaxZ, stagger, cfg.Shots, cfg.Seed,
+		strings.Join(names, ","), text)
+	r.key = contentKey(r.canonical)
+	return r, nil
+}
+
+// contentKey hashes a canonical job descriptor into the store address:
+// lowercase hex SHA-256.
+func contentKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}

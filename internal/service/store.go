@@ -1,0 +1,143 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the content-addressed result store: immutable JSON blobs
+// keyed by the lowercase-hex SHA-256 of their job's canonical
+// descriptor. Because results are pure functions of their descriptor,
+// a key either misses or maps to exactly the bytes any re-execution
+// would produce, so Put never overwrites and Get responses are
+// bit-identical across process restarts.
+//
+// Blobs live under dir/objects/<key[:2]>/<key>.json, fanned out over
+// 256 subdirectories so paper-scale campaigns don't degenerate into one
+// giant directory. Disk-backed stores hold nothing in process memory —
+// blobs are small JSON documents and rereads are served by the OS page
+// cache, so an always-on server's footprint stays flat no matter how
+// many results it accumulates. A Store with dir "" keeps blobs in a
+// process-lifetime map instead (tests, ephemeral servers). All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu   sync.RWMutex
+	mem  map[string][]byte // memory-only mode (dir == "")
+	puts int
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir, or a
+// memory-only store when dir is empty.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if dir == "" {
+		s.mem = make(map[string][]byte)
+	} else if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: store: %w", err)
+	}
+	return s, nil
+}
+
+// validKey guards against path traversal: keys are exactly the 64
+// lowercase hex characters contentKey produces.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".json")
+}
+
+// Get returns the blob stored under key. ok is false when the key has
+// never been stored.
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	if !validKey(key) {
+		return nil, false, nil
+	}
+	if s.dir == "" {
+		s.mu.RLock()
+		data, ok = s.mem[key]
+		s.mu.RUnlock()
+		return data, ok, nil
+	}
+	data, err = os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("service: store: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put stores the blob under key, durably (write to a temp file, fsync,
+// rename) when the store is disk-backed. Storing an already-present key
+// is a no-op: content addressing guarantees the bytes are the same, so
+// first-write-wins keeps every reader consistent.
+func (s *Store) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: store: invalid key %q", key)
+	}
+	// Serialize writers: concurrent Puts of the same key are rare (only
+	// racing identical jobs) and blobs are small, so one lock across the
+	// disk write beats finer schemes.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		if _, exists := s.mem[key]; !exists {
+			s.mem[key] = data
+			s.puts++
+		}
+		return nil
+	}
+	path := s.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // already durable (this process or a previous one)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-")
+	if err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if werr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: store: %w", werr)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: store: %w", err)
+	}
+	s.puts++
+	return nil
+}
+
+// Stats reports the number of blobs written by this process.
+func (s *Store) Stats() (puts int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts
+}

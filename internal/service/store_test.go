@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testKey(fill byte) string {
+	return strings.Repeat(string([]byte{fill}), 64)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		store, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("OpenStore(%q): %v", dir, err)
+		}
+		key := testKey('a')
+		if _, ok, _ := store.Get(key); ok {
+			t.Fatal("empty store claims to hold a key")
+		}
+		data := []byte(`{"x":1}`)
+		if err := store.Put(key, data); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, ok, err := store.Get(key)
+		if err != nil || !ok || !bytes.Equal(got, data) {
+			t.Fatalf("Get = %q, %v, %v; want stored bytes", got, ok, err)
+		}
+		// First-write-wins: a second Put never clobbers.
+		if err := store.Put(key, []byte("other")); err != nil {
+			t.Fatalf("second Put: %v", err)
+		}
+		got, _, _ = store.Get(key)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("second Put overwrote: %q", got)
+		}
+		if store.Stats() != 1 {
+			t.Fatalf("puts = %d, want 1", store.Stats())
+		}
+	}
+}
+
+func TestStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	key := testKey('b')
+	data := []byte(`{"y":2}`)
+	if err := store.Put(key, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok, err := reopened.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatalf("reopened Get = %q, %v, %v; want persisted bytes", got, ok, err)
+	}
+}
+
+func TestStoreKeyValidation(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	bad := []string{
+		"", "short", strings.Repeat("A", 64), // upper-case hex is invalid
+		strings.Repeat("a", 63) + "/",
+		"../../../../etc/passwd" + strings.Repeat("a", 42),
+	}
+	for _, key := range bad {
+		if err := store.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok, err := store.Get(key); ok || err != nil {
+			t.Errorf("Get(%q) = %v, %v; want miss without error", key, ok, err)
+		}
+	}
+}

@@ -52,6 +52,14 @@ func NewBuildCache() *BuildCache {
 // artifacts. Defaulted fields are resolved first (round counts of 0 mean
 // d+1, cycle times of 0 mean the hardware base cycle), so a spec written
 // with explicit defaults and one relying on them hash identically.
+//
+// Stability contract: SpecKey strings are inputs to DeriveSeed (the
+// trace simulator keys merge-event seeds on them) and to the service
+// layer's content addresses, so the rendered byte layout is frozen the
+// same way Point.Key is — resolve-then-render semantics, field order,
+// separators and float formatting must not change. Extend only by
+// appending fields whose zero value renders identically for existing
+// specs. TestKeyAndSeedStability pins a current value.
 func SpecKey(s surface.MergeSpec) string {
 	base := s.HW.CycleNs()
 	if s.CyclePNs == 0 {
@@ -71,7 +79,7 @@ func SpecKey(s surface.MergeSpec) string {
 	}
 	return "d=" + strconv.Itoa(s.D) +
 		" basis=" + s.Basis.String() +
-		" hw=" + hwKey(s.HW) +
+		" hw=" + HardwareKey(s.HW) +
 		" p=" + fstr(s.P) +
 		" tp=" + fstr(s.CyclePNs) +
 		" tpp=" + fstr(s.CyclePPrimeNs) +

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"testing"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+	"latticesim/internal/surface"
+)
+
+// TestKeyAndSeedStability pins the exact canonical-key strings and
+// derived seeds the engine produces today. These values are a frozen
+// contract (see the Point.Key, SpecKey and DeriveSeed godoc): persisted
+// manifests, recorded seeds, and the service layer's content-addressed
+// result store all assume they never drift. If this test fails, the
+// change broke the contract — fix the code, do not re-pin the values
+// (the only sanctioned exception is an intentional, documented schema
+// migration that also bumps the service's result schema version).
+func TestKeyAndSeedStability(t *testing.T) {
+	hw := hardware.IBM()
+	pt := Point{
+		HW: hw, Policy: core.Passive, D: 3, TauNs: 500, P: 1e-3,
+		Basis: surface.BasisX, CyclePNs: hw.CycleNs(), CyclePPrimeNs: hw.CycleNs(),
+	}
+
+	const wantKey = "policy=Passive d=3 tau=500 p=0.001 basis=XX hw=IBM/200000/150000/50/70/1500/20 tp=1900 tpp=1900 eps=0"
+	if got := pt.Key(); got != wantKey {
+		t.Errorf("Point.Key drifted:\n got %q\nwant %q", got, wantKey)
+	}
+	if got, want := pt.Seed(0xC0FFEE), uint64(10963720559975136293); got != want {
+		t.Errorf("Point.Seed(0xC0FFEE) drifted: got %d, want %d", got, want)
+	}
+	if got, want := pt.Seed(1), uint64(5883299851391973954); got != want {
+		t.Errorf("Point.Seed(1) drifted: got %d, want %d", got, want)
+	}
+	if got, want := DeriveSeed(0, ""), uint64(17665956581633026203); got != want {
+		t.Errorf("DeriveSeed(0, \"\") drifted: got %d, want %d", got, want)
+	}
+	if got, want := DeriveSeed(42, "x"), uint64(16246896862590398175); got != want {
+		t.Errorf("DeriveSeed(42, \"x\") drifted: got %d, want %d", got, want)
+	}
+
+	// SpecKey resolves defaults before rendering: the zero-default spec
+	// and the fully explicit one must both stay stable.
+	zeroDefaults := surface.MergeSpec{D: 3, Basis: surface.BasisZ, HW: hardware.Google(), P: 2e-3}
+	const wantZero = "d=3 basis=ZZ hw=Google/25000/40000/35/42/660/202 p=0.002 tp=1100 tpp=1100 rounds=4/4/4 idle=0/0/0"
+	if got := SpecKey(zeroDefaults); got != wantZero {
+		t.Errorf("SpecKey (zero defaults) drifted:\n got %q\nwant %q", got, wantZero)
+	}
+	explicit := surface.MergeSpec{
+		D: 5, Basis: surface.BasisX, HW: hw.Scaled(1000), P: 1e-3,
+		CyclePNs: 1000, CyclePPrimeNs: 1105, RoundsP: 8, RoundsPPrime: 7,
+		RoundsMerged: 6, LumpedIdleNs: 250, SpreadIdleNs: 125, IntraIdleNs: 60,
+	}
+	const wantExplicit = "d=5 basis=XX hw=IBM/200000/150000/26.31578947368421/36.84210526315789/789.4736842105262/10.526315789473683 p=0.001 tp=1000 tpp=1105 rounds=8/7/6 idle=250/125/60"
+	if got := SpecKey(explicit); got != wantExplicit {
+		t.Errorf("SpecKey (explicit) drifted:\n got %q\nwant %q", got, wantExplicit)
+	}
+
+	// The hardware fingerprint embeds in both keys; pin it directly too.
+	const wantHW = "Google/25000/40000/35/42/660/202"
+	if got := HardwareKey(hardware.Google()); got != wantHW {
+		t.Errorf("HardwareKey drifted:\n got %q\nwant %q", got, wantHW)
+	}
+}
+
+// TestSpecKeyDefaultEquivalence guards the resolve-then-render clause
+// of the contract: a spec relying on zero defaults and one spelling
+// them out must share an identity.
+func TestSpecKeyDefaultEquivalence(t *testing.T) {
+	hw := hardware.Google()
+	implicit := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hw, P: 1e-3}
+	explicit := surface.MergeSpec{
+		D: 3, Basis: surface.BasisX, HW: hw, P: 1e-3,
+		CyclePNs: hw.CycleNs(), CyclePPrimeNs: hw.CycleNs(),
+		RoundsP: 4, RoundsPPrime: 4, RoundsMerged: 4,
+	}
+	if ik, ek := SpecKey(implicit), SpecKey(explicit); ik != ek {
+		t.Errorf("defaulted and explicit specs disagree:\n%s\n%s", ik, ek)
+	}
+}

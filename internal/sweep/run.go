@@ -25,6 +25,12 @@ type Config struct {
 	// Progress, when set, observes each record as it completes, with the
 	// point's 1-based position and the grid size.
 	Progress func(position, total int, r Record)
+	// ShotProgress, when set, observes shot-level completion inside each
+	// point (cumulative shots done, point budget). It is forwarded to
+	// mc.Pipeline.Progress, so it may be called concurrently from Monte
+	// Carlo workers; it must be cheap and race-free, and it never affects
+	// results. The simulation service uses it to stream progress events.
+	ShotProgress func(doneShots, totalShots int)
 }
 
 // WithDefaults resolves the zero values: 40000 shots, seed 0xC0FFEE.
@@ -99,7 +105,7 @@ func (c *Campaign) Run() (Summary, error) {
 			sum.Interrupted = true
 			break
 		}
-		rec, err := runPoint(cache, pt, cfg)
+		rec, err := ExecutePoint(cache, pt, cfg)
 		if err != nil {
 			return sum, fmt.Errorf("sweep: point %s: %w", key, err)
 		}
@@ -137,10 +143,14 @@ func (c *Campaign) Run() (Summary, error) {
 	return sum, nil
 }
 
-// runPoint executes one point: resolve the policy plan, fetch (or build)
-// the spec's artifacts, and run the shot budget on the point's derived
-// seed.
-func runPoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
+// ExecutePoint executes one point: resolve the policy plan, fetch (or
+// build) the spec's artifacts, and run the shot budget on the point's
+// derived seed. It is the single-point job adapter the simulation
+// service calls directly (one queued job = one point), and exactly what
+// Campaign.Run does per point — cfg is used as given (apply WithDefaults
+// first when resolved values matter), and cache may be shared across
+// concurrent calls.
+func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 	start := time.Now()
 	rec := Record{
 		Key:           pt.Key(),
@@ -171,6 +181,7 @@ func runPoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 		// cache concurrently.
 		pl := *art.Pipeline
 		pl.Workers = cfg.Workers
+		pl.Progress = cfg.ShotProgress
 		rec.fillStats(pl.Run(rec.Shots, rec.Seed))
 	}
 	rec.WallMs = float64(time.Since(start)) / float64(time.Millisecond)

@@ -157,9 +157,13 @@ func (g Grid) Points() ([]Point, error) {
 // are stable across runs and machines.
 func fstr(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
-// hwKey fingerprints a hardware profile by value, not just name —
+// HardwareKey fingerprints a hardware profile by value, not just name —
 // Config.Scaled keeps the platform name while changing every latency.
-func hwKey(c hardware.Config) string {
+// The string is part of the stability contract shared by Point.Key and
+// SpecKey (see DeriveSeed): its format must never change for an existing
+// profile, or every persisted manifest, seed and content-addressed
+// result keyed through it silently drifts.
+func HardwareKey(c hardware.Config) string {
 	return c.Name + "/" + fstr(c.T1Ns) + "/" + fstr(c.T2Ns) + "/" + fstr(c.Gate1Ns) + "/" +
 		fstr(c.Gate2Ns) + "/" + fstr(c.ReadoutNs) + "/" + fstr(c.ResetNs)
 }
@@ -168,13 +172,22 @@ func hwKey(c hardware.Config) string {
 // resume bookkeeping (Manifest) and the input to Seed, so it includes
 // every field that can change the experiment — including the full
 // hardware fingerprint.
+//
+// Stability contract: the rendered string is persisted (manifests), fed
+// into seed derivation (DeriveSeed), and used as the content address of
+// stored results (internal/service), so its exact byte layout — field
+// order, separators, float formatting via fstr — is frozen. New physics
+// MUST be expressed as new fields appended with their zero-value
+// rendering preserved for old points, never by reformatting existing
+// ones. TestKeyAndSeedStability pins the current values; if it fails,
+// fix the code, don't update the test.
 func (pt Point) Key() string {
 	return "policy=" + pt.Policy.String() +
 		" d=" + strconv.Itoa(pt.D) +
 		" tau=" + fstr(pt.TauNs) +
 		" p=" + fstr(pt.P) +
 		" basis=" + pt.Basis.String() +
-		" hw=" + hwKey(pt.HW) +
+		" hw=" + HardwareKey(pt.HW) +
 		" tp=" + fstr(pt.CyclePNs) +
 		" tpp=" + fstr(pt.CyclePPrimeNs) +
 		" eps=" + strconv.FormatInt(pt.EpsNs, 10)
@@ -197,6 +210,16 @@ func splitmix64(x uint64) uint64 {
 // the repository's batch executors — sweep points (Point.Seed) and the
 // trace simulator's merge events both use it, so every unit of work owns
 // an RNG stream that depends only on (campaign seed, its own key).
+//
+// Stability contract: DeriveSeed is a frozen pure function. Its output
+// feeds every persisted Record.Seed, every manifest-resumed campaign,
+// and the content-addressed result store of internal/service, which
+// serves cached results under the promise that a re-submitted job would
+// recompute bit-identically. Changing the hash (FNV-1a, 64-bit, over the
+// raw key bytes), the mixing order (campaign seed + hash, then
+// SplitMix64), or the constants would silently invalidate all of them
+// while leaving the code "working". TestKeyAndSeedStability pins known
+// outputs; treat a failure there as a bug in the change, not the test.
 func DeriveSeed(campaignSeed uint64, key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))

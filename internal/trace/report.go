@@ -1,0 +1,65 @@
+package trace
+
+// ResultSet is the machine-readable result of simulating one program
+// under a set of policies at one (d, p) coordinate — the JSON schema
+// shared by `latticesim trace -json` (one ResultSet line per grid cell)
+// and the simulation service's trace jobs (`GET /v1/results/{key}`), so
+// CLI and API outputs are interchangeable.
+//
+// Every field except Source is a deterministic function of (program,
+// policies, config): the header echoes the resolved configuration the
+// results were computed under, and Results holds one entry per requested
+// policy in request order. Seed is encoded as a JSON string for the same
+// reason sweep.Record.Seed is — it is a full-range uint64 that
+// double-precision JSON tooling would silently round.
+type ResultSet struct {
+	// Source labels where the program came from (a file path, "factory
+	// workload", ...). Informational only; it is excluded from content
+	// addressing and may differ between byte-identical simulations.
+	Source string `json:"source,omitempty"`
+
+	// Resolved configuration header.
+	Hardware    string  `json:"hardware"`
+	BaseCycleNs float64 `json:"base_cycle_ns"`
+	Basis       string  `json:"basis"`
+	D           int     `json:"d"`
+	P           float64 `json:"p"`
+	EpsNs       int64   `json:"eps_ns"`
+	MaxZ        int     `json:"max_z"`
+	StaggerNs   int64   `json:"stagger_ns"`
+	Shots       int     `json:"shots"`
+	Seed        uint64  `json:"seed,string"`
+
+	// Program shape.
+	Patches  int `json:"patches"`
+	Ops      int `json:"ops"`
+	MergeOps int `json:"merge_ops"`
+
+	// Results holds one per-policy outcome in request order.
+	Results []*Result `json:"results"`
+}
+
+// NewResultSet assembles the machine-readable form of a simulation:
+// cfg must be the resolved configuration (Config.WithDefaults) the
+// results were produced with, and results one entry per policy in the
+// order they ran. The negative "no stagger" sentinel is normalized to 0
+// so equivalent configurations render identically.
+func NewResultSet(prog *Program, cfg Config, source string, results []*Result) ResultSet {
+	return ResultSet{
+		Source:      source,
+		Hardware:    cfg.HW.Name,
+		BaseCycleNs: cfg.HW.CycleNs(),
+		Basis:       cfg.Basis.String(),
+		D:           cfg.D,
+		P:           cfg.P,
+		EpsNs:       cfg.EpsNs,
+		MaxZ:        cfg.MaxZ,
+		StaggerNs:   cfg.stagger(),
+		Shots:       cfg.Shots,
+		Seed:        cfg.Seed,
+		Patches:     len(prog.Patches),
+		Ops:         len(prog.Ops),
+		MergeOps:    prog.Merges(),
+		Results:     results,
+	}
+}

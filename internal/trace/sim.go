@@ -37,6 +37,13 @@ type Config struct {
 	// the event loop is sequential and the shot executor is worker-count
 	// independent (DESIGN.md §5).
 	Workers int
+	// Progress, when set, observes merge-event completion: it is called
+	// after each executed MERGE operation with the cumulative count and
+	// the program's total merge count. Purely observational (results are
+	// identical with or without it); the event loop is sequential, so
+	// calls arrive in order from one goroutine. The simulation service
+	// uses it to stream per-job progress events.
+	Progress func(doneMerges, totalMerges int)
 	// StaggerNs is the initial phase offset between consecutively
 	// registered patches, modeling patches coming online at different
 	// times (0 = 135ns; negative = no stagger). Without stagger a
@@ -94,75 +101,82 @@ func (c Config) stagger() int64 {
 	return c.StaggerNs
 }
 
-// PatchStats is the per-patch breakdown of a simulation.
+// PatchStats is the per-patch breakdown of a simulation. The JSON field
+// names are part of the machine-readable trace result schema (see
+// ResultSet).
 type PatchStats struct {
-	Name string
+	Name string `json:"name"`
 	// CycleNs is the resolved cycle time (declared cycles below the
 	// hardware base are raised to it).
-	CycleNs float64
+	CycleNs float64 `json:"cycle_ns"`
 	// Merges counts the merge operations the patch participated in.
-	Merges int
+	Merges int `json:"merges"`
 	// SyncIdleNs is the policy-injected idle time charged to the patch.
-	SyncIdleNs float64
+	SyncIdleNs float64 `json:"sync_idle_ns"`
 	// ExtraRounds counts policy-mandated extra syndrome rounds.
-	ExtraRounds int
+	ExtraRounds int `json:"extra_rounds"`
 	// IdleRounds counts IDLE-op memory rounds.
-	IdleRounds int
+	IdleRounds int `json:"idle_rounds"`
 }
 
-// MergeStats records one executed merge event.
+// MergeStats records one executed merge event. The JSON field names are
+// part of the machine-readable trace result schema (see ResultSet).
 type MergeStats struct {
 	// Op is the index of the MERGE operation in Program.Ops.
-	Op int
+	Op int `json:"op"`
 	// StartNs is the program time at which the merged rounds begin.
-	StartNs float64
+	StartNs float64 `json:"start_ns"`
 	// SyncNs is the synchronization wait this merge spent (from event
 	// issue to alignment of every participant).
-	SyncNs float64
+	SyncNs float64 `json:"sync_ns"`
 	// SkewNs totals the waits of pairs that aligned before the slowest
 	// pair of this merge did.
-	SkewNs float64
+	SkewNs float64 `json:"skew_ns"`
 	// FailProb is the merge's logical failure probability: 1 − Π over
 	// its pairwise seams of (1 − joint LER).
-	FailProb float64
+	FailProb float64 `json:"fail_prob"`
 	// FallbackPairs counts pairs whose requested policy was infeasible
 	// and fell back to Active (§5 runtime selection).
-	FallbackPairs int
+	FallbackPairs int `json:"fallback_pairs"`
 }
 
 // Result is the outcome of simulating one program under one policy.
 // Every field is a deterministic function of (program, policy, config) —
-// independent of Config.Workers.
+// independent of Config.Workers. The JSON field names are part of the
+// machine-readable trace result schema shared by `latticesim trace
+// -json` and the simulation service (see ResultSet); Policy marshals as
+// its paper name via core.Policy.MarshalText.
 type Result struct {
-	Policy  core.Policy
-	Patches int
+	Policy  core.Policy `json:"policy"`
+	Patches int         `json:"patches"`
 	// MergeOps and IdleOps count executed trace operations.
-	MergeOps, IdleOps int
+	MergeOps int `json:"merge_ops"`
+	IdleOps  int `json:"idle_ops"`
 	// RuntimeNs is the program makespan: the global clock after the last
 	// operation completed.
-	RuntimeNs float64
+	RuntimeNs float64 `json:"runtime_ns"`
 	// SyncIdleNs totals the policy-injected idle across all patches.
-	SyncIdleNs float64
+	SyncIdleNs float64 `json:"sync_idle_ns"`
 	// SkewWaitNs totals cross-pair alignment waits in k-patch merges
 	// (pairs that aligned before the slowest pair did). It is timing
 	// bookkeeping only and is not charged into the Monte Carlo circuits.
-	SkewWaitNs float64
+	SkewWaitNs float64 `json:"skew_wait_ns"`
 	// ExtraRounds totals policy-mandated extra syndrome rounds.
-	ExtraRounds int
+	ExtraRounds int `json:"extra_rounds"`
 	// IdleRounds totals IDLE-op memory rounds.
-	IdleRounds int
+	IdleRounds int `json:"idle_rounds"`
 	// FallbackPairs counts pairwise plans that fell back to Active.
-	FallbackPairs int
+	FallbackPairs int `json:"fallback_pairs"`
 	// RaisedCycles counts patches whose declared cycle was below the
 	// hardware base cycle and was raised to it.
-	RaisedCycles int
+	RaisedCycles int `json:"raised_cycles"`
 	// ProgramLER is the whole-program logical error probability,
 	// 1 − Π over merges (1 − merge failure probability), under the
 	// independence approximation of the paper's program-level model.
-	ProgramLER float64
+	ProgramLER float64 `json:"program_ler"`
 	// PerPatch and PerMerge are the detailed breakdowns.
-	PerPatch []PatchStats
-	PerMerge []MergeStats
+	PerPatch []PatchStats `json:"per_patch"`
+	PerMerge []MergeStats `json:"per_merge"`
 }
 
 // Simulate runs the program under one synchronization policy. See the
@@ -218,6 +232,7 @@ func Simulate(prog *Program, policy core.Policy, cfg Config) (*Result, error) {
 	clockNs := float64(len(prog.Patches)-1) * float64(cfg.stagger())
 	pending := make([]int, len(prog.Patches)) // accumulated IDLE rounds per patch
 	survival := 1.0
+	totalMerges := prog.Merges()
 	for opIdx, op := range prog.Ops {
 		switch op.Kind {
 		case OpIdle:
@@ -255,6 +270,9 @@ func Simulate(prog *Program, policy core.Policy, cfg Config) (*Result, error) {
 			eng.Tick(int64(advance + 0.5))
 			clockNs += advance
 			res.PerMerge = append(res.PerMerge, ms)
+			if cfg.Progress != nil {
+				cfg.Progress(res.MergeOps, totalMerges)
+			}
 		}
 	}
 	res.IdleOps = len(prog.Ops) - res.MergeOps

@@ -11,6 +11,36 @@ import (
 // fractions of a full extra cycle.
 var Fig17Factors = []float64{1, 1.105, 1.21, 1.325}
 
+// Generate builds a workload program by family name — the single
+// dispatch shared by `latticesim trace -workload`, `latticesim submit
+// trace`, and the service's trace jobs, so generated programs are
+// identical however they are requested. patches/merges of 0 select the
+// defaults (8 patches, 16 merges); for the factory family, patches-1
+// producers each merge once per batch, with the batch count chosen so
+// the total merge count reaches the request.
+func Generate(family string, patches, merges int, baseCycleNs float64, seed uint64) (*Program, error) {
+	if patches == 0 {
+		patches = 8
+	}
+	if merges == 0 {
+		merges = 16
+	}
+	switch family {
+	case "", "factory":
+		factories := patches - 1
+		batches := 1
+		if factories > 0 && merges > factories {
+			batches = merges / factories
+		}
+		return Factory(factories, batches, baseCycleNs), nil
+	case "random":
+		return Random(patches, merges, baseCycleNs, seed), nil
+	case "ensemble":
+		return Ensemble(patches, merges, baseCycleNs, nil, seed), nil
+	}
+	return nil, fmt.Errorf("trace: unknown workload %q (factory, random, ensemble)", family)
+}
+
 // Random generates a workload of the given size: patches with cycle
 // times spread uniformly up to a third above baseCycleNs, and a sequence
 // of two-patch merges over uniformly random pairs with occasional

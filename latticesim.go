@@ -13,7 +13,9 @@
 //   - estimate logical error rates with NewPipeline,
 //   - drive the runtime engine with NewEngine,
 //   - simulate whole multi-patch programs with ParseTrace /
-//     SimulateTrace, and
+//     SimulateTrace,
+//   - serve jobs from an embeddable queue server with a
+//     content-addressed result store via NewService, and
 //   - regenerate every table and figure of the paper via Experiments.
 //
 // See the examples directory for runnable walkthroughs and DESIGN.md for
@@ -31,6 +33,7 @@ import (
 	"latticesim/internal/frame"
 	"latticesim/internal/hardware"
 	"latticesim/internal/microarch"
+	"latticesim/internal/service"
 	"latticesim/internal/surface"
 	"latticesim/internal/sweep"
 	"latticesim/internal/trace"
@@ -250,6 +253,49 @@ var (
 	RandomTrace   = trace.Random
 	EnsembleTrace = trace.Ensemble
 )
+
+// TraceResultSet is the machine-readable result schema shared by
+// `latticesim trace -json` and the simulation service's trace jobs.
+type TraceResultSet = trace.ResultSet
+
+// NewTraceResultSet assembles the machine-readable form of a trace
+// simulation from its resolved config and per-policy results.
+func NewTraceResultSet(prog *TraceProgram, cfg TraceConfig, source string, results []*TraceResult) TraceResultSet {
+	return trace.NewResultSet(prog, cfg, source, results)
+}
+
+// Simulation service: an embeddable job-queue server with a
+// content-addressed result store and streaming progress (the engine
+// behind `latticesim serve` / `latticesim submit`; see DESIGN.md §11).
+// Identical job submissions are served from the store bit-identically.
+type (
+	// Service is the embeddable simulation server: bounded job queue,
+	// worker pool over one shared BuildCache, content-addressed store.
+	Service = service.Server
+	// ServiceOptions configures a Service; the zero value works
+	// (memory-only store, 2 workers).
+	ServiceOptions = service.Options
+	// ServiceClient is the Go client of the service HTTP API.
+	ServiceClient = service.Client
+	// ServiceJobSpec describes one job: a sweep point or a trace run.
+	ServiceJobSpec = service.JobSpec
+	// ServiceSweepJob configures a sweep-point job.
+	ServiceSweepJob = service.SweepJob
+	// ServiceTraceJob configures a trace-simulation job.
+	ServiceTraceJob = service.TraceJob
+	// ServiceJobStatus is a job's queue state, progress and result key.
+	ServiceJobStatus = service.JobStatus
+	// ServiceStats are the server's queue/store/build-cache counters.
+	ServiceStats = service.Stats
+)
+
+// NewService starts an embeddable simulation server; expose it over
+// HTTP with its Handler method and stop it with Close.
+func NewService(opts ServiceOptions) (*Service, error) { return service.New(opts) }
+
+// NewServiceClient returns a client for the simulation service at base
+// (e.g. "http://127.0.0.1:8642").
+func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
 
 // Experiments: regeneration of the paper's tables and figures.
 type (

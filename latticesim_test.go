@@ -2,6 +2,8 @@ package latticesim_test
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -116,5 +118,37 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if err := latticesim.RunExperiment("nope", &buf, latticesim.Options{}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestFacadeService drives the simulation service through the facade:
+// an in-process server, a submitted sweep job, and a cache-hit
+// resubmission with byte-identical result bytes.
+func TestFacadeService(t *testing.T) {
+	svc, err := latticesim.NewService(latticesim.ServiceOptions{MCWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	hs := httptest.NewServer(svc.Handler())
+	defer hs.Close()
+
+	client := latticesim.NewServiceClient(hs.URL)
+	spec := latticesim.ServiceJobSpec{Type: "sweep", Sweep: &latticesim.ServiceSweepJob{
+		Policy: "Active", TauNs: 800, Shots: 512, Seed: 3,
+	}}
+	st, data, err := client.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.CacheHit {
+		t.Fatalf("first run: state=%s cache_hit=%v", st.State, st.CacheHit)
+	}
+	st2, data2, err := client.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || !bytes.Equal(data, data2) {
+		t.Fatalf("resubmission: cache_hit=%v identical=%v", st2.CacheHit, bytes.Equal(data, data2))
 	}
 }
