@@ -16,7 +16,7 @@ COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_JSON ?= BENCH_pr3.json
 
-.PHONY: build test race serve bench bench-json bench-compare
+.PHONY: build test race cover fuzz serve bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,28 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# cover enforces the statement-coverage floors CI gates on (README
+# "Contributing"): the statistics and allocation layers behind adaptive
+# sweeps must stay ≥ $(COVER_FLOOR)% covered. The merged profile lands
+# in coverage.out for the HTML viewer: go tool cover -html=coverage.out
+COVER_FLOOR ?= 80
+COVER_PKGS ?= ./internal/stats ./internal/sweep
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover "$$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' \
+			|| { echo "coverage floor violated: $$pkg at $$pct% < $(COVER_FLOOR)%"; exit 1; }; \
+	done
+
+# fuzz runs the grammar fuzzers for FUZZTIME each — the same smoke CI's
+# lint job runs (30s there).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzParseGrid -fuzztime $(FUZZTIME) ./internal/sweep
 
 # serve starts the simulation service (HTTP job queue + content-addressed
 # result store under SERVE_DATA). Submit work with `latticesim submit`

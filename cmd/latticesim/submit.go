@@ -113,6 +113,10 @@ func submitSweep(args []string) error {
 		eps    = fs.Int64("eps", 0, "Hybrid residual-slack tolerance in ns")
 		shots  = fs.Int("shots", 0, "Monte Carlo shots (0 = 40000)")
 		seed   = fs.Uint64("seed", 0, "campaign seed (0 = default)")
+
+		adaptive = fs.Bool("adaptive", false, "adaptive shot allocation: -shots becomes the budget pool, the run stops at the target CI width (see EXPERIMENTS.md §12)")
+		tgtRCI   = fs.Float64("target-rci", 0, "adaptive convergence target: relative joint-CI width (0 = 0.2; implies -adaptive)")
+		maxShots = fs.Int("max-shots", 0, "adaptive shot cap (0 = 1048576; implies -adaptive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +125,7 @@ func submitSweep(args []string) error {
 		Hardware: *hw, ScaleNs: *scale, Policy: *policy, D: *d, TauNs: *tau,
 		P: *p, Basis: *basis, CyclePNs: *cp, CyclePPrimeNs: *cpp,
 		EpsNs: *eps, Shots: *shots, Seed: *seed,
+		Adaptive: *adaptive, TargetRCI: *tgtRCI, MaxShots: *maxShots,
 	}})
 }
 

@@ -6,14 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
-	"latticesim/internal/core"
 	"latticesim/internal/exp"
-	"latticesim/internal/hardware"
-	"latticesim/internal/surface"
 	"latticesim/internal/sweep"
 )
 
@@ -54,6 +49,9 @@ Flags:`)
 		seed     = fs.Uint64("seed", env.Seed, "campaign seed; point seeds derive from it (0 = default; LATTICESIM_SEED sets the default)")
 		workers  = fs.Int("workers", env.Workers, "Monte Carlo worker pool size per point (0 = GOMAXPROCS; LATTICESIM_WORKERS sets the default)")
 		maxPts   = fs.Int("max-points", 0, "stop after this many executed points (0 = whole grid); rerun to resume")
+		adaptive = fs.Bool("adaptive", false, "adaptive shot allocation: -shots becomes a per-point pool contribution, spent on the widest confidence intervals (see EXPERIMENTS.md §12)")
+		tgtRCI   = fs.Float64("target-rci", 0, "adaptive convergence target: relative joint-CI width to stop a point at (0 = 0.2; implies -adaptive)")
+		maxShots = fs.Int("max-shots", 0, "adaptive per-point shot cap (0 = 1048576; implies -adaptive)")
 		out      = fs.String("out", "", "output directory (required unless -json)")
 		jsonOut  = fs.Bool("json", false, "stream canonical record JSON lines to stdout (the service result schema)")
 		quiet    = fs.Bool("quiet", false, "suppress per-point progress lines")
@@ -84,6 +82,9 @@ Flags:`)
 	// Resolve defaults once so the manifest header pins exactly what the
 	// campaign will execute.
 	cfg := sweep.Config{Shots: *shots, Seed: *seed, Workers: *workers, MaxPoints: *maxPts}.WithDefaults()
+	if *adaptive || *tgtRCI > 0 || *maxShots > 0 {
+		cfg.Adaptive = &sweep.AdaptiveConfig{TargetRCI: *tgtRCI, MaxShots: *maxShots}
+	}
 
 	var sinks []sweep.Sink
 	var manifest *sweep.Manifest
@@ -134,12 +135,20 @@ Flags:`)
 		if dest == "" {
 			dest = "stdout"
 		}
-		fmt.Fprintf(logw, "sweep: %d points (%d already done), %d shots each, seed %#x -> %s\n",
-			len(pts), done, cfg.Shots, cfg.Seed, dest)
+		budget := fmt.Sprintf("%d shots each", cfg.Shots)
+		if cfg.Adaptive != nil {
+			a := cfg.Adaptive.WithDefaults()
+			budget = fmt.Sprintf("adaptive pool of %d shots/point (target rci %g)", cfg.Shots, a.TargetRCI)
+		}
+		fmt.Fprintf(logw, "sweep: %d points (%d already done), %s, seed %#x -> %s\n",
+			len(pts), done, budget, cfg.Seed, dest)
 		cfg.Progress = func(pos, total int, r sweep.Record) {
 			status := fmt.Sprintf("joint=%.4g single=%.4g", r.JointRate, r.SingleRate)
 			if !r.Feasible {
 				status = "infeasible"
+			}
+			if r.StopReason != "" && r.StopReason != sweep.StopFixed && r.Feasible {
+				status += fmt.Sprintf(" [%s @ %d shots]", r.StopReason, r.ShotsGranted)
 			}
 			fmt.Fprintf(logw, "  [%d/%d] %s: %s (%.0fms)\n", pos, total, r.Key, status, r.WallMs)
 		}
@@ -186,82 +195,25 @@ func (s canonicalJSONSink) Write(r sweep.Record) error {
 	return err
 }
 
-// buildGrid assembles the sweep grid from the flag strings.
+// buildGrid assembles the sweep grid from the flag strings via the
+// shared (and fuzz-hardened) sweep.ParseGridSpec grammar.
 func buildGrid(hwName string, scale float64, policies, ds, taus, ps, bases string, cycleP float64, cyclePPs string, eps int64) (sweep.Grid, error) {
-	var g sweep.Grid
-	hw, ok := hardware.ByName(hwName)
-	if !ok {
-		return g, fmt.Errorf("unknown hardware profile %q (IBM, Google, QuEra, IBM-Sherbrooke)", hwName)
-	}
-	if scale > 0 {
-		hw = hw.Scaled(scale)
-	}
-	g.HW = hw
-	g.CyclePNs = cycleP
-	g.EpsNs = eps
-	for _, s := range splitList(policies) {
-		pol, ok := core.ParsePolicy(s)
-		if !ok {
-			return g, fmt.Errorf("unknown policy %q (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)", s)
-		}
-		g.Policies = append(g.Policies, pol)
-	}
-	var err error
-	if g.Distances, err = parseInts(ds); err != nil {
-		return g, fmt.Errorf("-d: %w", err)
-	}
-	if g.SlackNs, err = parseFloats(taus); err != nil {
-		return g, fmt.Errorf("-tau: %w", err)
-	}
-	if g.ErrorRates, err = parseFloats(ps); err != nil {
-		return g, fmt.Errorf("-p: %w", err)
-	}
-	if g.CyclePPrimeNs, err = parseFloats(cyclePPs); err != nil {
-		return g, fmt.Errorf("-cyclepp: %w", err)
-	}
-	for _, s := range splitList(bases) {
-		switch s {
-		case "X", "XX":
-			g.Bases = append(g.Bases, surface.BasisX)
-		case "Z", "ZZ":
-			g.Bases = append(g.Bases, surface.BasisZ)
-		default:
-			return g, fmt.Errorf("unknown basis %q (X or Z)", s)
-		}
-	}
-	return g, nil
+	return sweep.ParseGridSpec(sweep.GridSpec{
+		Hardware:      hwName,
+		ScaleNs:       scale,
+		Policies:      policies,
+		Distances:     ds,
+		TausNs:        taus,
+		ErrorRates:    ps,
+		Bases:         bases,
+		CyclePNs:      cycleP,
+		CyclePPrimeNs: cyclePPs,
+		EpsNs:         eps,
+	})
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
+func splitList(s string) []string { return sweep.SplitList(s) }
 
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range splitList(s) {
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
+func parseInts(s string) ([]int, error) { return sweep.ParseIntList(s) }
 
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range splitList(s) {
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
+func parseFloats(s string) ([]float64, error) { return sweep.ParseFloatList(s) }

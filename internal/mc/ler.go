@@ -63,6 +63,19 @@ func (r LERResult) MeanHammingWeight() float64 {
 	return float64(r.DetectorFires) / float64(r.Shots)
 }
 
+// Merge folds another tally into r, growing r.Errors as needed. All
+// fields are integer counts, so merging the results of disjoint shot
+// ranges (RunFrom) in any order reproduces the single-run tally
+// exactly; the adaptive sweep engine accumulates increments through it.
+func (r *LERResult) Merge(s LERResult) {
+	if len(s.Errors) > len(r.Errors) {
+		grown := make([]int, len(s.Errors))
+		copy(grown, r.Errors)
+		r.Errors = grown
+	}
+	r.merge(s)
+}
+
 // merge folds another shard tally into r. Addition of counts is
 // commutative, so the fold order cannot change the result.
 func (r *LERResult) merge(s LERResult) {
@@ -146,25 +159,31 @@ type lerState struct {
 // runLER shards the shot budget and decodes it on the worker pool, with
 // one decoder per worker supplied by newDec.
 func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
+	return p.runLERShards(shardPlan(shots), shots, seed, workers, newDec)
+}
+
+// runLERShards decodes an explicit shard slice; progress reports shots
+// completed within the slice against the given total.
+func (p *Pipeline) runLERShards(plan []shard, total int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
 	newSampler := p.samplerFactory()
 	var doneShots atomic.Int64
 	progress := p.Progress
-	parts := runShards(shardPlan(shots), workers,
+	parts := runShards(plan, workers,
 		func() lerState {
 			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
 		},
 		func(st lerState, sh shard) LERResult {
 			res := p.runShardLER(st, sh, seed)
 			if progress != nil {
-				progress(int(doneShots.Add(int64(sh.shots))), shots)
+				progress(int(doneShots.Add(int64(sh.shots))), total)
 			}
 			return res
 		})
-	total := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	out := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
 	for _, part := range parts {
-		total.merge(part)
+		out.merge(part)
 	}
-	return total
+	return out
 }
 
 // runShardLER samples and decodes one shard with its own RNG stream.
@@ -218,6 +237,20 @@ func (p *Pipeline) runShardLER(st lerState, sh shard, seed uint64) LERResult {
 // union-find decoder per worker.
 func (p *Pipeline) Run(shots int, seed uint64) LERResult {
 	return p.runLER(shots, seed, p.Workers, func() decoder.Decoder {
+		return decoder.NewUnionFind(p.Graph)
+	})
+}
+
+// RunFrom samples and decodes the shot range [from, to) of a to-sized
+// budget, with from a multiple of ShardShots (it panics otherwise, like
+// a slice bound violation: the caller owns the increment schedule).
+// Because every shard's RNG stream is keyed on (seed, shard index),
+// merging the results of disjoint ranges covering [0, n) reproduces
+// Run(n, seed) exactly — the primitive behind the adaptive allocator's
+// incrementally granted budgets (DESIGN.md §12). Progress, when set,
+// observes shots completed within this range against its to-from total.
+func (p *Pipeline) RunFrom(from, to int, seed uint64) LERResult {
+	return p.runLERShards(shardPlanRange(from, to), to-from, seed, p.Workers, func() decoder.Decoder {
 		return decoder.NewUnionFind(p.Graph)
 	})
 }

@@ -24,6 +24,32 @@ import (
 // while each shard still amortizes its share of pool bookkeeping.
 const shardShots = 4096
 
+// ShardShots is the granularity of incremental execution: RunFrom and
+// the importance sampler's RunShards accept ranges whose start is a
+// multiple of this, because a shard's RNG stream is keyed on its index
+// and consumed from its first shot. The adaptive allocator in
+// internal/sweep quantizes every budget decision to this unit so that
+// an incrementally-granted budget replays the exact shard schedule a
+// single-call run of the same total would use.
+const ShardShots = shardShots
+
+// shardPlanRange splits the shot range [from, to) of a to-sized budget
+// into shards. from must be shard-aligned (a multiple of shardShots) so
+// the range covers whole shards of the canonical shardPlan(to); only
+// the final shard may be partial. The returned shards carry their
+// budget-absolute indices, so their RNG streams — and hence the union
+// of any disjoint ranges covering [0, n) — are identical to a single
+// shardPlan(n) run.
+func shardPlanRange(from, to int) []shard {
+	if from < 0 || from%shardShots != 0 {
+		panic("mc: range start must be a non-negative multiple of ShardShots")
+	}
+	if to <= from {
+		return nil
+	}
+	return shardPlan(to)[from/shardShots:]
+}
+
 // shard is one unit of work: shards[i] covers shots [i*shardShots,
 // i*shardShots+shots).
 type shard struct {

@@ -1,0 +1,318 @@
+package mc
+
+// Rare-event estimation by importance sampling at the detector-error-
+// model level (DESIGN.md §12). In the p ≤ 1e-4 regime plain Monte Carlo
+// starves: a d=3 merge fails perhaps once per 10⁵–10⁶ shots, so even a
+// million shots pin the logical error rate to only a handful of counts.
+// The importance sampler draws the DEM's independent error mechanisms
+// at boosted probabilities q_i = min(boost·p_i, qCap) and weights every
+// shot by the exact likelihood ratio
+//
+//	w = Π_fired (p_i/q_i) · Π_unfired ((1-p_i)/(1-q_i)),
+//
+// so E[w·fail] under the boosted measure equals the true logical error
+// rate. Because the DEM's mechanism set is extracted exactly from the
+// circuit (identical-symptom mechanisms XOR-combine), the boosted
+// sampler targets precisely the distribution the frame simulator draws
+// from — the estimate is unbiased for the same LER, with variance
+// smaller by roughly boost^k where k errors are needed to fail.
+//
+// Determinism matches the plain path: shots are sharded on the same
+// (seed, shard index) RNG streams, every shard yields its own tally,
+// and callers fold tallies in shard order — float sums are not
+// associative, so WeightedTally.Fold in canonical order is the
+// reproducibility contract the adaptive allocator relies on.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"latticesim/internal/decoder"
+	"latticesim/internal/dem"
+	"latticesim/internal/stats"
+)
+
+// WeightedTally is one shard's (or a fold of several shards')
+// importance-sampling statistics. Integer fields are exact; float sums
+// depend on fold order and must be combined with Fold in shard order.
+type WeightedTally struct {
+	// Shots counts proposal draws.
+	Shots int
+	// SumW and SumW2 accumulate Σw and Σw² over all shots — E[w] = 1,
+	// so SumW/Shots near 1 is a self-diagnostic of the reweighting.
+	SumW, SumW2 float64
+	// FailW[o] and FailW2[o] accumulate Σ w·fail and Σ (w·fail)² for
+	// observable o; FailCount[o] is the raw proposal-measure count.
+	FailW, FailW2 []float64
+	FailCount     []int
+	// FiresW accumulates Σ w·|defects|, the weighted syndrome-weight
+	// sum behind the mean-Hamming-weight estimate.
+	FiresW float64
+	// MaxW is the largest per-shot weight the sampler can emit
+	// (constant per sampler; carried so tallies are self-contained).
+	MaxW float64
+}
+
+// Fold folds s into t. Call it in shard order: integer fields merge
+// exactly, float sums reproduce bit-identically only for a fixed order.
+func (t *WeightedTally) Fold(s WeightedTally) {
+	if len(s.FailW) > len(t.FailW) {
+		t.FailW = append(t.FailW, make([]float64, len(s.FailW)-len(t.FailW))...)
+		t.FailW2 = append(t.FailW2, make([]float64, len(s.FailW2)-len(t.FailW2))...)
+		t.FailCount = append(t.FailCount, make([]int, len(s.FailCount)-len(t.FailCount))...)
+	}
+	t.Shots += s.Shots
+	t.SumW += s.SumW
+	t.SumW2 += s.SumW2
+	for o := range s.FailW {
+		t.FailW[o] += s.FailW[o]
+		t.FailW2[o] += s.FailW2[o]
+		t.FailCount[o] += s.FailCount[o]
+	}
+	t.FiresW += s.FiresW
+	if s.MaxW > t.MaxW {
+		t.MaxW = s.MaxW
+	}
+}
+
+// FoldTallies folds a shard-ordered slice into one tally.
+func FoldTallies(parts []WeightedTally) WeightedTally {
+	var total WeightedTally
+	for _, p := range parts {
+		total.Fold(p)
+	}
+	return total
+}
+
+// Estimator views observable o of the tally as a stats.Weighted
+// estimator, the rare-event half of the stats.Estimator pair.
+func (t WeightedTally) Estimator(o int) stats.Weighted {
+	w := stats.Weighted{N: t.Shots, MaxW: t.MaxW}
+	if o < len(t.FailW) {
+		w.SumWX = t.FailW[o]
+		w.SumW2X2 = t.FailW2[o]
+		w.Hits = t.FailCount[o]
+	}
+	return w
+}
+
+// MeanHammingWeight returns the weighted mean syndrome weight per shot.
+func (t WeightedTally) MeanHammingWeight() float64 {
+	if t.Shots == 0 {
+		return 0
+	}
+	return t.FiresW / float64(t.Shots)
+}
+
+// isGroup is a set of DEM mechanisms sharing one true probability, the
+// unit of geometric-skipping and of the likelihood-ratio bookkeeping.
+type isGroup struct {
+	q       float64 // boosted proposal probability
+	invLogQ float64 // 1/log1p(-q), the skipping constant
+	logLR   float64 // ln((p(1-q))/(q(1-p))): per-fired-mechanism log-ratio
+	mechs   []int32 // indices into the model's error list
+}
+
+// ImportanceSampler draws DEM error mechanisms at boosted probabilities
+// and decodes the resulting syndromes, tallying likelihood-weighted
+// failures. It is immutable after construction and safe to share across
+// goroutines (per-worker scratch is created inside RunShards), so a
+// cached build artifact can carry one sampler per boost value.
+type ImportanceSampler struct {
+	model   *dem.Model
+	graph   *decoder.Graph
+	boost   float64
+	groups  []isGroup
+	logBase float64 // Σ ln((1-p_i)/(1-q_i)) over all mechanisms
+	maxW    float64
+}
+
+// qCap bounds boosted probabilities: past ~0.25 a "rare" mechanism
+// saturates the decoder with multi-error shots whose weights underflow
+// any useful precision, so the boost is clamped rather than extended.
+const qCap = 0.25
+
+// NewImportanceSampler prepares a boosted sampler for the model/graph
+// pair. boost must be ≥ 1; boost = 1 degenerates to plain sampling with
+// every weight exactly 1 (the equivalence tests pin that).
+func NewImportanceSampler(m *dem.Model, g *decoder.Graph, boost float64) (*ImportanceSampler, error) {
+	if boost < 1 {
+		return nil, fmt.Errorf("mc: importance boost %v must be ≥ 1", boost)
+	}
+	s := &ImportanceSampler{model: m, graph: g, boost: boost}
+	// Group mechanisms by true probability; DEMs repeat a handful of
+	// channel-derived values, so the group count stays tiny.
+	byP := make(map[float64]*isGroup)
+	var order []float64
+	for i, e := range m.Errors {
+		if e.P <= 0 {
+			continue
+		}
+		grp, ok := byP[e.P]
+		if !ok {
+			q := boost * e.P
+			if q > qCap {
+				q = qCap
+			}
+			if q < e.P {
+				q = e.P
+			}
+			grp = &isGroup{
+				q:       q,
+				invLogQ: 1 / math.Log1p(-q),
+				logLR:   math.Log(e.P*(1-q)) - math.Log(q*(1-e.P)),
+			}
+			byP[e.P] = grp
+			order = append(order, e.P)
+		}
+		grp.mechs = append(grp.mechs, int32(i))
+	}
+	// Deterministic group order regardless of map iteration.
+	sort.Float64s(order)
+	s.logBase = 0
+	for _, p := range order {
+		grp := byP[p]
+		s.groups = append(s.groups, *grp)
+		s.logBase += float64(len(grp.mechs)) * (math.Log1p(-p) - math.Log1p(-grp.q))
+	}
+	// No fired mechanism has a likelihood factor above 1 (q ≥ p), so
+	// the all-clear weight exp(logBase) bounds every shot's weight.
+	s.maxW = math.Exp(s.logBase)
+	return s, nil
+}
+
+// MaxWeight returns the largest per-shot weight the sampler can emit.
+func (s *ImportanceSampler) MaxWeight() float64 { return s.maxW }
+
+// isState is the per-worker scratch of an importance run.
+type isState struct {
+	dec     decoder.Decoder
+	flip    []bool  // detector flip parity, indexed by detector
+	touched []int32 // detectors touched this shot (may repeat)
+	defects []int   // sorted fired detectors handed to the decoder
+}
+
+// RunShards draws the shot range [from, to) of a to-sized budget — from
+// must be a multiple of ShardShots, exactly like Pipeline.RunFrom — and
+// returns one tally per shard, in shard order. Callers must fold the
+// per-shard tallies one at a time in shard order (across increments
+// too): folding a pre-folded sub-range total re-associates the float
+// sums and loses bit-identity. Folded that way, the result is identical
+// for every worker count and every shard-aligned increment schedule
+// covering the same range.
+func (s *ImportanceSampler) RunShards(from, to int, seed uint64, workers int) []WeightedTally {
+	return runShards(shardPlanRange(from, to), workers,
+		func() *isState {
+			return &isState{
+				dec:  decoder.NewUnionFind(s.graph),
+				flip: make([]bool, s.model.NumDetectors),
+			}
+		},
+		func(st *isState, sh shard) WeightedTally {
+			return s.runShard(st, sh, seed)
+		})
+}
+
+// runShard draws and decodes one shard with its own RNG stream.
+func (s *ImportanceSampler) runShard(st *isState, sh shard, seed uint64) WeightedTally {
+	rng := stats.NewRand(shardSeed(seed, sh.index))
+	nObs := s.model.NumObservables
+	t := WeightedTally{
+		FailW:     make([]float64, nObs),
+		FailW2:    make([]float64, nObs),
+		FailCount: make([]int, nObs),
+		MaxW:      s.maxW,
+	}
+	trivialEmpty := decoder.EmptySyndromeFree(st.dec)
+	for shot := 0; shot < sh.shots; shot++ {
+		st.touched = st.touched[:0]
+		logW := s.logBase
+		var obsMask uint64
+		fired := false
+		for gi := range s.groups {
+			grp := &s.groups[gi]
+			forEachBoosted(rng, grp.q, grp.invLogQ, len(grp.mechs), func(k int) {
+				fired = true
+				logW += grp.logLR
+				e := &s.model.Errors[grp.mechs[k]]
+				for _, d := range e.Detectors {
+					st.flip[d] = !st.flip[d]
+					st.touched = append(st.touched, d)
+				}
+				obsMask ^= e.Obs
+			})
+		}
+		w := math.Exp(logW)
+		t.Shots++
+		t.SumW += w
+		t.SumW2 += w * w
+		if !fired {
+			// Nothing fired: empty syndrome, no observable flip, and a
+			// free decoder predicts 0 — the shot cannot fail.
+			if !trivialEmpty {
+				_ = st.dec.Decode(nil)
+			}
+			continue
+		}
+		st.defects = st.defects[:0]
+		for _, d := range st.touched {
+			if st.flip[d] {
+				st.flip[d] = false
+				st.defects = append(st.defects, int(d))
+			}
+		}
+		sort.Ints(st.defects)
+		t.FiresW += w * float64(len(st.defects))
+		var pred uint64
+		if len(st.defects) > 0 || !trivialEmpty {
+			pred = st.dec.Decode(st.defects)
+		}
+		miss := pred ^ obsMask
+		for miss != 0 {
+			o := bits.TrailingZeros64(miss)
+			miss &^= 1 << uint(o)
+			if o >= nObs {
+				continue
+			}
+			wf := w
+			t.FailW[o] += wf
+			t.FailW2[o] += wf * wf
+			t.FailCount[o]++
+		}
+	}
+	return t
+}
+
+// forEachBoosted is forEachFlipInv with p ≥ 1 handled for completeness;
+// it exists so rare.go reads symmetrically with the frame sampler's
+// geometric skipping.
+func forEachBoosted(rng interface{ Float64() float64 }, q, invLogQ float64, n int, fn func(k int)) {
+	if q <= 0 || n == 0 {
+		return
+	}
+	if q >= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	pos := 0
+	for {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		skip := int(math.Log(u) * invLogQ)
+		if skip < 0 {
+			skip = 0
+		}
+		pos += skip
+		if pos >= n {
+			return
+		}
+		fn(pos)
+		pos++
+	}
+}

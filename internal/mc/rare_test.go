@@ -1,0 +1,148 @@
+package mc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"latticesim/internal/surface"
+)
+
+// TestRunFromMergesToRun: disjoint shard-aligned ranges covering [0, n)
+// must merge to exactly the single-call Run(n) tally, for any worker
+// count — the primitive the adaptive allocator's incremental grants
+// stand on.
+func TestRunFromMergesToRun(t *testing.T) {
+	const shots, seed = 20000, 17
+	pl := buildTestPipeline(t, 3)
+	pl.Workers = 1
+	want := pl.Run(shots, seed)
+
+	splits := [][]int{
+		{0, shots},
+		{0, ShardShots, shots},
+		{0, ShardShots, 3 * ShardShots, shots},
+		{0, 2 * ShardShots, 4 * ShardShots, shots},
+	}
+	for _, workers := range []int{1, 3, 8} {
+		pl.Workers = workers
+		for _, cuts := range splits {
+			var got LERResult
+			for i := 0; i+1 < len(cuts); i++ {
+				got.Merge(pl.RunFrom(cuts[i], cuts[i+1], seed))
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d cuts=%v: merged %+v != Run %+v", workers, cuts, got, want)
+			}
+		}
+	}
+}
+
+func TestRunFromRejectsUnalignedStart(t *testing.T) {
+	pl := buildTestPipeline(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunFrom must panic on an unaligned range start")
+		}
+	}()
+	pl.RunFrom(100, 5000, 1)
+}
+
+// TestImportanceSamplerDeterminism: folded tallies must be bit-identical
+// for any worker count and any shard-aligned increment schedule — the
+// float sums make this strictly stronger than the integer-count case, so
+// it is asserted on every field including the weight sums. The contract
+// is per-shard folds in shard order: folding pre-folded sub-range totals
+// would re-associate the float sums.
+func TestImportanceSamplerDeterminism(t *testing.T) {
+	const shots, seed = 20000, 23
+	pl := buildTestPipeline(t, 3)
+	s, err := NewImportanceSampler(pl.Model, pl.Graph, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FoldTallies(s.RunShards(0, shots, seed, 1))
+
+	splits := [][]int{
+		{0, shots},
+		{0, ShardShots, shots},
+		{0, 2 * ShardShots, 3 * ShardShots, shots},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, cuts := range splits {
+			var got WeightedTally
+			for i := 0; i+1 < len(cuts); i++ {
+				for _, part := range s.RunShards(cuts[i], cuts[i+1], seed, workers) {
+					got.Fold(part)
+				}
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d cuts=%v: tally %+v != %+v", workers, cuts, got, want)
+			}
+		}
+	}
+}
+
+// TestImportanceBoostOneIsExact: with boost 1 the proposal equals the
+// target, so every likelihood weight is exactly 1.0 — weighted sums
+// collapse to the raw counts with no float slack at all.
+func TestImportanceBoostOneIsExact(t *testing.T) {
+	const shots, seed = 3 * ShardShots, 5
+	pl := buildTestPipeline(t, 3)
+	s, err := NewImportanceSampler(pl.Model, pl.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxWeight() != 1 {
+		t.Fatalf("boost=1 max weight = %v, want exactly 1", s.MaxWeight())
+	}
+	tally := FoldTallies(s.RunShards(0, shots, seed, 4))
+	if tally.Shots != shots {
+		t.Fatalf("shots = %d, want %d", tally.Shots, shots)
+	}
+	if tally.SumW != float64(shots) || tally.SumW2 != float64(shots) {
+		t.Fatalf("boost=1 weight sums %v/%v, want exactly %d", tally.SumW, tally.SumW2, shots)
+	}
+	for o := range tally.FailW {
+		if tally.FailW[o] != float64(tally.FailCount[o]) {
+			t.Fatalf("obs %d: weighted failures %v != count %d", o, tally.FailW[o], tally.FailCount[o])
+		}
+	}
+}
+
+// TestImportanceSamplerUnbiased: at a rate plain Monte Carlo resolves
+// comfortably, the boosted estimate must agree with the plain estimate —
+// z=4 intervals of the two estimators must overlap, and the weight mean
+// must sit near its expectation of 1.
+func TestImportanceSamplerUnbiased(t *testing.T) {
+	const seed = 11
+	pl := buildTestPipeline(t, 3)
+	pl.Workers = 4
+	plain := pl.Run(400000, seed)
+	plainCI := plain.Binomial(surface.ObsJoint).CI(4)
+
+	s, err := NewImportanceSampler(pl.Model, pl.Graph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := FoldTallies(s.RunShards(0, 100000, seed+1, 4))
+	est := tally.Estimator(surface.ObsJoint)
+	isCI := est.CI(4)
+	if est.Hits == 0 {
+		t.Fatal("boosted run saw no failures at all; boost too weak for the test circuit")
+	}
+	if isCI.Low > plainCI.High || plainCI.Low > isCI.High {
+		t.Fatalf("estimates disagree: plain %+v vs importance %+v", plainCI, isCI)
+	}
+	if mean := tally.SumW / float64(tally.Shots); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("weight mean %v should be ~1 (unbiased reweighting)", mean)
+	}
+}
+
+// TestImportanceSamplerRejectsWeakBoost pins the constructor contract.
+func TestImportanceSamplerRejectsWeakBoost(t *testing.T) {
+	pl := buildTestPipeline(t, 3)
+	if _, err := NewImportanceSampler(pl.Model, pl.Graph, 0.5); err == nil {
+		t.Fatal("boost < 1 must be rejected")
+	}
+}

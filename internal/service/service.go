@@ -46,8 +46,9 @@ import (
 // resultSchemaVersion is baked into every content address, so a breaking
 // change to a stored result schema (sweep.Record, trace.ResultSet)
 // must bump it — old store entries then simply miss instead of serving
-// stale-schema bytes.
-const resultSchemaVersion = 1
+// stale-schema bytes. v2: sweep.Record gained the shots_granted,
+// stop_reason and estimator columns (adaptive allocation).
+const resultSchemaVersion = 2
 
 // Job states.
 const (
@@ -102,6 +103,15 @@ type SweepJob struct {
 	// tooling rounds them).
 	Shots int    `json:"shots,omitempty"`
 	Seed  uint64 `json:"seed,omitempty"`
+	// Adaptive switches the point to adaptive shot allocation: Shots
+	// becomes the budget pool and the run stops once the joint-rate
+	// confidence interval is narrow enough (EXPERIMENTS.md §12).
+	// TargetRCI is the relative CI width to converge to (0 = 0.2) and
+	// MaxShots the per-point cap (0 = 1048576); setting either implies
+	// Adaptive. All three feed the content address.
+	Adaptive  bool    `json:"adaptive,omitempty"`
+	TargetRCI float64 `json:"target_rci,omitempty"`
+	MaxShots  int     `json:"max_shots,omitempty"`
 }
 
 // TraceJob is one whole-program simulation: a trace (inline text or a
@@ -293,6 +303,12 @@ func resolveSweep(j SweepJob) (*resolvedJob, error) {
 	if j.Shots < 0 {
 		return nil, fmt.Errorf("shots %d must be ≥ 0", j.Shots)
 	}
+	if j.TargetRCI < 0 {
+		return nil, fmt.Errorf("target_rci %v must be ≥ 0", j.TargetRCI)
+	}
+	if j.MaxShots < 0 {
+		return nil, fmt.Errorf("max_shots %d must be ≥ 0", j.MaxShots)
+	}
 	cycleP, cyclePP := j.CyclePNs, j.CyclePPrimeNs
 	if cycleP == 0 {
 		cycleP = hw.CycleNs()
@@ -305,6 +321,12 @@ func resolveSweep(j SweepJob) (*resolvedJob, error) {
 		CyclePNs: cycleP, CyclePPrimeNs: cyclePP, EpsNs: j.EpsNs,
 	}
 	cfg := sweep.Config{Shots: j.Shots, Seed: j.Seed}.WithDefaults()
+	adaptive := j.Adaptive || j.TargetRCI > 0 || j.MaxShots > 0
+	var acfg sweep.AdaptiveConfig
+	if adaptive {
+		acfg = sweep.AdaptiveConfig{TargetRCI: j.TargetRCI, MaxShots: j.MaxShots}.WithDefaults()
+		cfg.Adaptive = &acfg
+	}
 
 	r := &resolvedJob{pt: pt, scfg: cfg}
 	// The echo must round-trip: resubmitting it has to resolve to the
@@ -317,12 +339,25 @@ func resolveSweep(j SweepJob) (*resolvedJob, error) {
 		CyclePNs: cycleP, CyclePPrimeNs: cyclePP,
 		EpsNs: j.EpsNs, Shots: cfg.Shots, Seed: cfg.Seed,
 	}}
+	if adaptive {
+		r.spec.Sweep.Adaptive = true
+		r.spec.Sweep.TargetRCI = acfg.TargetRCI
+		r.spec.Sweep.MaxShots = acfg.MaxShots
+	}
 	// The content address reuses the frozen sweep identities: the
 	// canonical point key (which embeds the full hardware fingerprint,
 	// so ScaleNs needs no separate line) plus the execution parameters
 	// that feed the record.
 	r.canonical = fmt.Sprintf("latticesim-result-v%d\ntype=sweep\npoint=%s\nseed=%d\nshots=%d\n",
 		resultSchemaVersion, pt.Key(), cfg.Seed, cfg.Shots)
+	if adaptive {
+		// Every resolved parameter that can change the record is part of
+		// the address. Increment is deliberately absent: the checkpoint
+		// ladder makes grants independent of the execution chunk size
+		// (DESIGN.md §12).
+		r.canonical += fmt.Sprintf("adaptive=1\ntarget-rci=%g\nmin-shots=%d\nmax-shots=%d\nrare-p=%g\nboost=%g\nz=%g\n",
+			acfg.TargetRCI, acfg.MinShots, acfg.MaxShots, acfg.RareP, acfg.Boost, acfg.Z)
+	}
 	r.key = contentKey(r.canonical)
 	return r, nil
 }

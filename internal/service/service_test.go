@@ -112,6 +112,87 @@ func TestSweepJobEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAdaptiveSweepJob covers the adaptive job surface: spec echo
+// round-trips to the same content key, adaptive and fixed submissions
+// address different results, setting TargetRCI alone implies adaptive,
+// and the served bytes match a direct adaptive execution.
+func TestAdaptiveSweepJob(t *testing.T) {
+	spec := JobSpec{Type: "sweep", Sweep: &SweepJob{
+		Policy: "Passive", TauNs: 1000, Shots: 8192, Seed: 7, TargetRCI: 0.9,
+	}}
+	r, err := spec.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	echo := r.spec.Sweep
+	if !echo.Adaptive || echo.TargetRCI != 0.9 || echo.MaxShots != 1<<20 {
+		t.Fatalf("echo = %+v, want adaptive with resolved target_rci/max_shots", echo)
+	}
+	kEcho, err := r.spec.ContentKey()
+	if err != nil {
+		t.Fatalf("ContentKey(echo): %v", err)
+	}
+	if kEcho != r.key {
+		t.Fatalf("echo does not round-trip: %s != %s", kEcho, r.key)
+	}
+	kFixed, err := sweepSpec(1000, 8192, 7).ContentKey()
+	if err != nil {
+		t.Fatalf("ContentKey(fixed): %v", err)
+	}
+	if kFixed == r.key {
+		t.Fatal("adaptive and fixed jobs share a content key")
+	}
+	explicit := JobSpec{Type: "sweep", Sweep: &SweepJob{
+		Policy: "Passive", TauNs: 1000, Shots: 8192, Seed: 7, Adaptive: true, TargetRCI: 0.9,
+	}}
+	kExplicit, err := explicit.ContentKey()
+	if err != nil {
+		t.Fatalf("ContentKey(explicit): %v", err)
+	}
+	if kExplicit != r.key {
+		t.Fatal("adaptive=true and implied-by-target_rci specs diverge")
+	}
+
+	_, client := newTestServer(t, Options{DataDir: t.TempDir(), MCWorkers: 2})
+	st, data, err := client.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state=%s error=%q, want done", st.State, st.Error)
+	}
+	var rec sweep.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("result is not a record: %v", err)
+	}
+	if rec.StopReason != sweep.StopConverged || rec.ShotsGranted <= 0 || rec.Estimator != sweep.EstimatorMC {
+		t.Fatalf("record stop fields = (%q, %d, %q), want converged at > 0 shots via mc",
+			rec.StopReason, rec.ShotsGranted, rec.Estimator)
+	}
+	if st.Progress.Done != rec.ShotsGranted || st.Progress.Unit != "shots" {
+		t.Fatalf("final progress = %+v, want done=%d shots", st.Progress, rec.ShotsGranted)
+	}
+
+	hw := hardware.IBM()
+	pt := sweep.Point{
+		HW: hw, Policy: core.Passive, D: 3, TauNs: 1000, P: 1e-3, Basis: surface.BasisX,
+		CyclePNs: hw.CycleNs(), CyclePPrimeNs: hw.CycleNs(),
+	}
+	cfg := sweep.Config{Shots: 8192, Seed: 7}.WithDefaults()
+	cfg.Adaptive = &sweep.AdaptiveConfig{TargetRCI: 0.9}
+	direct, err := sweep.ExecutePoint(sweep.NewBuildCache(), pt, cfg)
+	if err != nil {
+		t.Fatalf("ExecutePoint: %v", err)
+	}
+	want, err := direct.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("service result differs from direct adaptive execution:\nservice: %s\ndirect:  %s", data, want)
+	}
+}
+
 // TestTraceJobEndToEnd does the same round trip for a trace job,
 // including schema equality with the direct simulation.
 func TestTraceJobEndToEnd(t *testing.T) {

@@ -1,0 +1,469 @@
+package sweep
+
+// Adaptive shot allocation (DESIGN.md §12, EXPERIMENTS.md §12). A fixed
+// per-point budget wastes most of its shots on easy points — a p = 1e-2
+// point pins its error rate a hundred times tighter than it needs while
+// a p = 1e-4 point is still starved. The adaptive allocator turns the
+// same total budget (Config.Shots × feasible points) into a pool: every
+// feasible point is primed with a first checkpoint's worth of shots,
+// and the remaining budget is repeatedly granted to whichever point
+// currently has the widest relative confidence interval, until every
+// point has converged to the target, hit its per-point cap, or the pool
+// runs dry.
+//
+// Determinism contract. Only the budget *decision* is adaptive; the
+// statistics are not. A point's record is a pure function of (point,
+// seed, shots-granted): shots execute on the same sharded RNG schedule
+// a single fixed run of the granted budget would use, stopping is
+// evaluated only at checkpoints drawn from a canonical ladder, and ties
+// in the widest-interval scheduler break by canonical point order. The
+// worker count and the execution chunk size (Increment) are therefore
+// invisible in every granted budget and every emitted byte.
+
+import (
+	"fmt"
+	"time"
+
+	"latticesim/internal/mc"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+)
+
+// Stop reasons recorded in Record.StopReason.
+const (
+	// StopFixed marks a record produced by a fixed (non-adaptive) budget.
+	StopFixed = "fixed"
+	// StopConverged marks a point whose joint relative CI width reached
+	// the target.
+	StopConverged = "converged"
+	// StopMaxShots marks a point that hit AdaptiveConfig.MaxShots without
+	// converging.
+	StopMaxShots = "max-shots"
+	// StopExhausted marks a point abandoned because the campaign's shot
+	// pool ran dry.
+	StopExhausted = "exhausted"
+	// StopInfeasible marks a point whose policy had no plan solution; no
+	// shots were run.
+	StopInfeasible = "infeasible"
+)
+
+// Estimator names recorded in Record.Estimator.
+const (
+	// EstimatorMC is plain Monte Carlo counting with Wilson intervals.
+	EstimatorMC = "mc"
+	// EstimatorImportance is the rare-event importance-sampling path.
+	EstimatorImportance = "importance"
+)
+
+// AdaptiveConfig tunes the sequential allocator. The zero value of each
+// field selects the documented default; set RareP negative to disable
+// the importance-sampling path entirely.
+type AdaptiveConfig struct {
+	// TargetRCI is the convergence target: a point stops once the
+	// relative width (high-low)/estimate of its joint-observable CI
+	// drops to this value (default 0.2). An estimate of zero counts as
+	// unconverged.
+	TargetRCI float64
+	// MinShots is the first checkpoint — every feasible point runs at
+	// least this many shots (aligned up to mc.ShardShots) before any
+	// stopping decision. Default 4096.
+	MinShots int
+	// MaxShots caps any single point's grant (default 1<<20). The cap is
+	// aligned down to mc.ShardShots.
+	MaxShots int
+	// Increment is the execution chunk between progress updates: shots
+	// toward the next checkpoint run in RunFrom slices of at most this
+	// size. It never affects grants or statistics — checkpoints, not
+	// increments, are where decisions happen. Default 16384.
+	Increment int
+	// RareP selects the importance-sampling estimator for points whose
+	// physical error rate p is at or below it (default 1e-4). Negative
+	// disables importance sampling; the choice is a pure function of the
+	// point, never of observed data.
+	RareP float64
+	// Boost multiplies mechanism probabilities in the importance
+	// sampler's proposal (default 2). Useful values are small: the DEM's
+	// total mechanism rate is O(1) even at low p, so large boosts
+	// explode the likelihood-weight variance faster than they enrich
+	// failures.
+	Boost float64
+	// Z is the normal quantile of the stopping rule's interval (default
+	// 1.96, ~95%). Record interval columns stay at 1.96 regardless, so
+	// the schema's meaning is stable.
+	Z float64
+}
+
+// WithDefaults resolves zero fields to the documented defaults.
+func (a AdaptiveConfig) WithDefaults() AdaptiveConfig {
+	if a.TargetRCI == 0 {
+		a.TargetRCI = 0.2
+	}
+	if a.MinShots == 0 {
+		a.MinShots = 4096
+	}
+	if a.MaxShots == 0 {
+		a.MaxShots = 1 << 20
+	}
+	if a.Increment == 0 {
+		a.Increment = 16384
+	}
+	if a.RareP == 0 {
+		a.RareP = 1e-4
+	}
+	if a.Boost == 0 {
+		a.Boost = 2
+	}
+	if a.Z == 0 {
+		a.Z = 1.96
+	}
+	return a
+}
+
+// usesImportance reports whether a point at physical rate p takes the
+// rare-event path.
+func (a AdaptiveConfig) usesImportance(p float64) bool {
+	return a.RareP > 0 && p <= a.RareP
+}
+
+func alignUpShards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + mc.ShardShots - 1) / mc.ShardShots * mc.ShardShots
+}
+
+func alignDownShards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n / mc.ShardShots * mc.ShardShots
+}
+
+// firstCheckpoint is the ladder's base: MinShots aligned up to a shard.
+func (a AdaptiveConfig) firstCheckpoint() int {
+	c := alignUpShards(a.MinShots)
+	if c == 0 {
+		c = mc.ShardShots
+	}
+	if m := a.maxCheckpoint(); c > m {
+		c = m
+	}
+	return c
+}
+
+// maxCheckpoint is MaxShots aligned down to a shard (at least one).
+func (a AdaptiveConfig) maxCheckpoint() int {
+	m := alignDownShards(a.MaxShots)
+	if m == 0 {
+		m = mc.ShardShots
+	}
+	return m
+}
+
+// nextCheckpoint advances the canonical ladder: 5/4 growth aligned up
+// to a shard (so consecutive checkpoints differ by at least one shard),
+// capped at maxCheckpoint. Decisions are evaluated only at ladder
+// values, which is what makes grants independent of Increment and of
+// the worker count; the modest growth factor caps budget overshoot past
+// the point where a coarser doubling ladder would stop at ~25%.
+func (a AdaptiveConfig) nextCheckpoint(c int) int {
+	n := alignUpShards(c + c/4)
+	if n <= c {
+		n = c + mc.ShardShots
+	}
+	if m := a.maxCheckpoint(); n > m {
+		n = m
+	}
+	return n
+}
+
+// pointRunner is one point's execution state inside the allocator.
+type pointRunner struct {
+	pt    Point
+	index int // canonical grid position, the scheduler tie-break
+	rec   Record
+	// pl is a shallow copy of the cached pipeline with this campaign's
+	// worker count; nil for infeasible points.
+	pl      *mc.Pipeline
+	sampler *mc.ImportanceSampler // non-nil on the rare-event path
+	granted int
+	plain   mc.LERResult
+	tally   mc.WeightedTally
+	ci      stats.CI // joint CI at the last checkpoint
+	stopped bool
+	reason  string
+	started time.Time
+}
+
+// jointEstimator views the accumulated statistics as a stats.Estimator.
+func (r *pointRunner) jointEstimator() stats.Estimator {
+	if r.sampler != nil {
+		return r.tally.Estimator(surface.ObsJoint)
+	}
+	return stats.Binomial{Successes: r.plain.Errors[surface.ObsJoint], Trials: r.plain.Shots}
+}
+
+// relCI is the scheduler's priority: wider is needier, +Inf when the
+// estimate is still zero.
+func (r *pointRunner) relCI() float64 { return r.ci.RelWidth() }
+
+// advance runs shots [granted, to) in Increment-sized chunks, folding
+// each chunk into the accumulated statistics exactly as a single run of
+// the full range would, then re-evaluates the joint CI. ShotProgress
+// observes (point-cumulative shots, current checkpoint target): the
+// total grows monotonically as the allocator grants more, which is the
+// contract progress consumers rely on.
+func (r *pointRunner) advance(to int, cfg Config, acfg AdaptiveConfig) {
+	for r.granted < to {
+		chunkEnd := r.granted + acfg.Increment
+		if chunkEnd > to {
+			chunkEnd = to
+		}
+		base := r.granted
+		if r.sampler != nil {
+			parts := r.sampler.RunShards(base, chunkEnd, r.rec.Seed, cfg.Workers)
+			done := 0
+			for _, part := range parts {
+				// Per-shard folds in shard order: the bit-identity
+				// contract of the weighted sums.
+				r.tally.Fold(part)
+				done += part.Shots
+				if cfg.ShotProgress != nil {
+					cfg.ShotProgress(base+done, to)
+				}
+			}
+		} else {
+			pl := *r.pl
+			if cfg.ShotProgress != nil {
+				sp := cfg.ShotProgress
+				pl.Progress = func(done, _ int) { sp(base+done, to) }
+			}
+			r.plain.Merge(pl.RunFrom(base, chunkEnd, r.rec.Seed))
+		}
+		r.granted = chunkEnd
+	}
+	r.ci = r.jointEstimator().CI(acfg.Z)
+}
+
+// stop marks the runner finished; converged wins over the caller's
+// reason when the target was in fact reached.
+func (r *pointRunner) stop(reason string, acfg AdaptiveConfig) {
+	r.stopped = true
+	if r.relCI() <= acfg.TargetRCI {
+		reason = StopConverged
+	}
+	r.reason = reason
+}
+
+// finalize fills the record from the accumulated statistics. Shots and
+// ShotsGranted both report the shots actually run: every statistic is a
+// function of the granted budget, and a fixed rerun of the same grant
+// reproduces it bit-for-bit.
+func (r *pointRunner) finalize() Record {
+	rec := r.rec
+	rec.Shots = r.granted
+	rec.ShotsGranted = r.granted
+	rec.StopReason = r.reason
+	if r.sampler != nil {
+		rec.Estimator = EstimatorImportance
+		rec.fillStatsWeighted(r.tally)
+	} else if rec.Feasible {
+		rec.Estimator = EstimatorMC
+		rec.fillStats(r.plain)
+	}
+	rec.WallMs = float64(time.Since(r.started)) / float64(time.Millisecond)
+	return rec
+}
+
+// newPointRunner resolves one point and prepares its execution state
+// (infeasible points come back already stopped).
+func newPointRunner(cache *BuildCache, pt Point, index int, cfg Config, acfg AdaptiveConfig) (*pointRunner, error) {
+	r := &pointRunner{pt: pt, index: index, started: time.Now()}
+	r.rec = Record{
+		Key:           pt.Key(),
+		Policy:        pt.Policy.String(),
+		D:             pt.D,
+		TauNs:         pt.TauNs,
+		P:             pt.P,
+		Basis:         pt.Basis.String(),
+		Hardware:      pt.HW.Name,
+		CyclePNs:      pt.CyclePNs,
+		CyclePPrimeNs: pt.CyclePPrimeNs,
+		EpsNs:         pt.EpsNs,
+		Seed:          pt.Seed(cfg.Seed),
+		Shots:         cfg.Shots,
+	}
+	spec, plan, ok := pt.Resolve()
+	r.rec.Feasible = ok
+	if !ok {
+		r.stopped = true
+		r.reason = StopInfeasible
+		return r, nil
+	}
+	r.rec.ExtraRoundsP = plan.ExtraRoundsP
+	r.rec.ExtraRoundsPPrime = plan.ExtraRoundsPPrime
+	r.rec.TotalIdleNs = plan.TotalIdleNs()
+	art, _, err := cache.Get(spec)
+	if err != nil {
+		return nil, err
+	}
+	pl := *art.Pipeline
+	pl.Workers = cfg.Workers
+	pl.Progress = nil
+	r.pl = &pl
+	if acfg.usesImportance(pt.P) {
+		s, err := mc.NewImportanceSampler(pl.Model, pl.Graph, acfg.Boost)
+		if err != nil {
+			return nil, fmt.Errorf("importance sampler: %w", err)
+		}
+		r.sampler = s
+	}
+	return r, nil
+}
+
+// allocate is the sequential allocator shared by adaptive campaigns and
+// single-point adaptive execution. budget is the total shot pool; every
+// feasible runner is primed to the first checkpoint (the pool may
+// overdraw there — no point is left without statistics), then the
+// widest-relative-CI point is repeatedly advanced to its next ladder
+// checkpoint until all runners stop.
+func allocate(runners []*pointRunner, budget int, cfg Config, acfg AdaptiveConfig) {
+	c0 := acfg.firstCheckpoint()
+	for _, r := range runners {
+		if r.stopped {
+			continue
+		}
+		budget -= c0
+		r.advance(c0, cfg, acfg)
+		if r.relCI() <= acfg.TargetRCI {
+			r.stop(StopConverged, acfg)
+		} else if r.granted >= acfg.maxCheckpoint() {
+			r.stop(StopMaxShots, acfg)
+		}
+	}
+	for {
+		// Widest relative CI first; ties break to canonical grid order
+		// (runners are scanned in it).
+		var best *pointRunner
+		for _, r := range runners {
+			if r.stopped {
+				continue
+			}
+			if best == nil || r.relCI() > best.relCI() {
+				best = r
+			}
+		}
+		if best == nil {
+			return
+		}
+		next := acfg.nextCheckpoint(best.granted)
+		cost := next - best.granted
+		exhausted := false
+		if cost > budget {
+			partial := alignDownShards(budget)
+			if partial <= 0 {
+				// Pool dry: every still-active point keeps what it has.
+				for _, r := range runners {
+					if !r.stopped {
+						r.stop(StopExhausted, acfg)
+					}
+				}
+				return
+			}
+			next = best.granted + partial
+			cost = partial
+			exhausted = true
+		}
+		budget -= cost
+		best.advance(next, cfg, acfg)
+		switch {
+		case best.relCI() <= acfg.TargetRCI:
+			best.stop(StopConverged, acfg)
+		case best.granted >= acfg.maxCheckpoint():
+			best.stop(StopMaxShots, acfg)
+		case exhausted:
+			best.stop(StopExhausted, acfg)
+		}
+	}
+}
+
+// runAdaptive is Campaign.Run's adaptive mode: resolve every
+// non-journaled point, pool the budget, allocate, then emit the records
+// in canonical order through the usual sink → sync → manifest → progress
+// sequence. Buffering until allocation finishes is what lets the pool
+// flow across points while the output stays in canonical order.
+func (c *Campaign) runAdaptive(pts []Point, cfg Config, acfg AdaptiveConfig, cache *BuildCache) (Summary, error) {
+	sum := Summary{Points: len(pts)}
+	type slot struct {
+		position int // 1-based grid position for Progress
+		runner   *pointRunner
+	}
+	var slots []slot
+	feasible := 0
+	for i, pt := range pts {
+		if c.Manifest != nil && c.Manifest.Done(pt.Key()) {
+			sum.Skipped++
+			continue
+		}
+		r, err := newPointRunner(cache, pt, i, cfg, acfg)
+		if err != nil {
+			return sum, fmt.Errorf("sweep: point %s: %w", pt.Key(), err)
+		}
+		if r.rec.Feasible {
+			feasible++
+		}
+		slots = append(slots, slot{position: i + 1, runner: r})
+	}
+	runners := make([]*pointRunner, len(slots))
+	for i, s := range slots {
+		runners[i] = s.runner
+	}
+	allocate(runners, cfg.Shots*feasible, cfg, acfg)
+	for _, s := range slots {
+		rec := s.runner.finalize()
+		key := rec.Key
+		sum.Executed++
+		if !rec.Feasible {
+			sum.Infeasible++
+		}
+		for _, sink := range c.Sinks {
+			if err := sink.Write(rec); err != nil {
+				return sum, fmt.Errorf("sweep: writing record for %s: %w", key, err)
+			}
+		}
+		if c.Manifest != nil {
+			for _, sink := range c.Sinks {
+				if sy, ok := sink.(Syncer); ok {
+					if err := sy.Sync(); err != nil {
+						return sum, fmt.Errorf("sweep: syncing record for %s: %w", key, err)
+					}
+				}
+			}
+			if err := c.Manifest.MarkDone(key); err != nil {
+				return sum, fmt.Errorf("sweep: manifest update for %s: %w", key, err)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(s.position, len(pts), rec)
+		}
+	}
+	return sum, nil
+}
+
+// executeAdaptivePoint is ExecutePoint's adaptive mode: one point, a
+// pool of cfg.Shots. With no grid to reallocate across, adaptivity
+// here means early stopping — the point never receives more than the
+// configured budget, it just stops spending once converged. The
+// simulation service's one-point jobs go through this path.
+func executeAdaptivePoint(cache *BuildCache, pt Point, cfg Config, acfg AdaptiveConfig) (Record, error) {
+	r, err := newPointRunner(cache, pt, 0, cfg, acfg)
+	if err != nil {
+		return Record{}, err
+	}
+	budget := 0
+	if r.rec.Feasible {
+		budget = cfg.Shots
+	}
+	allocate([]*pointRunner{r}, budget, cfg, acfg)
+	return r.finalize(), nil
+}

@@ -1,0 +1,291 @@
+package sweep
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"latticesim/internal/core"
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+)
+
+// adaptiveGrid spans the easy-to-rare range of the acceptance criteria:
+// p from 1e-2 down to 1e-4, one policy, one distance — the axis that
+// actually stresses the allocator.
+func adaptiveGrid(ps []float64) Grid {
+	return Grid{
+		HW:         hardware.IBM(),
+		Policies:   []core.Policy{core.Ideal},
+		Distances:  []int{3},
+		SlackNs:    []float64{500},
+		ErrorRates: ps,
+	}
+}
+
+// collectAdaptive runs an adaptive campaign into a JSONL buffer and a
+// record slice.
+func collectAdaptive(t *testing.T, g Grid, cfg Config, cache *BuildCache) ([]Record, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	var recs sliceSink
+	camp := &Campaign{Grid: g, Config: cfg, Cache: cache,
+		Sinks: []Sink{&JSONLWriter{W: &buf}, &recs}}
+	if _, err := camp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return recs.recs, buf.Bytes()
+}
+
+// TestAdaptiveDeterminism is the allocator's half of the determinism
+// contract: with a fixed campaign seed, runs with different worker
+// counts AND different execution increments must grant identical
+// (point, seed, shots-granted) triples and emit byte-identical records.
+// The budget is sized so the rarest point exhausts the pool, so the
+// exhaustion path is covered by the byte comparison too.
+func TestAdaptiveDeterminism(t *testing.T) {
+	g := adaptiveGrid([]float64{1e-2, 1e-3, 1e-4})
+	cache := NewBuildCache()
+	base := Config{Shots: 16384, Seed: 4242, Workers: 1,
+		Adaptive: &AdaptiveConfig{Increment: 4096}}
+	refRecs, refRaw := collectAdaptive(t, g, base, cache)
+	ref := canonicalJSONL(t, refRaw)
+	if len(refRecs) != 3 {
+		t.Fatalf("3 records expected, got %d", len(refRecs))
+	}
+	for _, rec := range refRecs {
+		if rec.ShotsGranted <= 0 || rec.ShotsGranted != rec.Shots {
+			t.Fatalf("granted shots must be positive and mirrored into shots: %+v", rec)
+		}
+		if rec.StopReason == "" || rec.StopReason == StopFixed {
+			t.Fatalf("adaptive record carries stop reason %q", rec.StopReason)
+		}
+	}
+
+	for _, variant := range []Config{
+		{Shots: 16384, Seed: 4242, Workers: 4, Adaptive: &AdaptiveConfig{Increment: 8192}},
+		{Shots: 16384, Seed: 4242, Workers: 7, Adaptive: &AdaptiveConfig{Increment: 20480}},
+	} {
+		recs, raw := collectAdaptive(t, g, variant, cache)
+		for i, rec := range recs {
+			want := refRecs[i]
+			if rec.Key != want.Key || rec.Seed != want.Seed || rec.ShotsGranted != want.ShotsGranted {
+				t.Fatalf("workers=%d increment=%d: triple (%s, %d, %d) != reference (%s, %d, %d)",
+					variant.Workers, variant.Adaptive.Increment,
+					rec.Key, rec.Seed, rec.ShotsGranted, want.Key, want.Seed, want.ShotsGranted)
+			}
+		}
+		if got := canonicalJSONL(t, raw); got != ref {
+			t.Fatalf("workers=%d increment=%d: records not byte-identical:\n%s\nvs reference:\n%s",
+				variant.Workers, variant.Adaptive.Increment, got, ref)
+		}
+	}
+}
+
+// TestAdaptiveSavesShots is the acceptance criterion: on a grid
+// spanning p ∈ {1e-2, 1e-3, 1e-4}, every point must converge to the
+// target relative CI, and the total granted budget must be at least 3×
+// below the uniform fixed budget that reaches the same target on every
+// point (numPoints × the worst point's analytic requirement).
+func TestAdaptiveSavesShots(t *testing.T) {
+	const target = 0.2
+	ps := []float64{3e-2, 2e-2, 1e-2, 6e-3, 3e-3, 2e-3, 1e-3, 1e-4}
+	g := adaptiveGrid(ps)
+	cfg := Config{Shots: 65536, Seed: 7, Adaptive: &AdaptiveConfig{TargetRCI: target}}
+	recs, _ := collectAdaptive(t, g, cfg, nil)
+	if len(recs) != len(ps) {
+		t.Fatalf("%d records expected, got %d", len(ps), len(recs))
+	}
+
+	granted := 0
+	worstFixed := 0
+	for _, rec := range recs {
+		if !rec.Feasible {
+			t.Fatalf("unexpected infeasible point %s", rec.Key)
+		}
+		if rec.StopReason != StopConverged {
+			t.Fatalf("point %s stopped with %q (granted %d, rate %v, CI [%v, %v])",
+				rec.Key, rec.StopReason, rec.ShotsGranted, rec.JointRate,
+				rec.JointWilsonLow, rec.JointWilsonHigh)
+		}
+		if rci := (rec.JointWilsonHigh - rec.JointWilsonLow) / rec.JointRate; rci > target {
+			t.Fatalf("point %s converged but reports relative CI %v > %v", rec.Key, rci, target)
+		}
+		wantEst := EstimatorMC
+		if rec.P <= 1e-4 {
+			wantEst = EstimatorImportance
+		}
+		if rec.Estimator != wantEst {
+			t.Fatalf("point %s (p=%v) used estimator %q, want %q", rec.Key, rec.P, rec.Estimator, wantEst)
+		}
+		granted += rec.ShotsGranted
+		// The fixed budget that reaches the target on every point is set
+		// by the worst point; use each point's measured rate as its true
+		// rate (the adaptive run pinned it to ±10%).
+		if n := stats.FixedShotsForTarget(rec.JointRate, target, 1.96); n > worstFixed {
+			worstFixed = n
+		}
+	}
+	fixedTotal := worstFixed * len(recs)
+	if fixedTotal < 3*granted {
+		t.Fatalf("adaptive granted %d shots; equivalent fixed campaign needs %d (%d × %d) — less than the required 3× saving",
+			granted, fixedTotal, len(recs), worstFixed)
+	}
+	t.Logf("adaptive: %d shots vs fixed %d — %.1f× saving", granted, fixedTotal, float64(fixedTotal)/float64(granted))
+}
+
+// TestAdaptiveRecordPurity: a record produced under adaptive allocation
+// must be exactly the record of a fixed run of the granted budget —
+// statistics are a pure function of (point, seed, shots-granted), never
+// of the allocation history.
+func TestAdaptiveRecordPurity(t *testing.T) {
+	g := adaptiveGrid([]float64{1e-3})
+	cache := NewBuildCache()
+	recs, _ := collectAdaptive(t, g,
+		Config{Shots: 65536, Seed: 99, Adaptive: &AdaptiveConfig{TargetRCI: 0.15}}, cache)
+	rec := recs[0]
+	if rec.Estimator != EstimatorMC || rec.ShotsGranted <= 4096 {
+		t.Fatalf("test point should take several plain-MC checkpoints, got %+v", rec)
+	}
+
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := ExecutePoint(cache, pts[0], Config{Shots: rec.ShotsGranted, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Seed != rec.Seed || fixed.Shots != rec.Shots ||
+		fixed.JointErrors != rec.JointErrors || fixed.JointRate != rec.JointRate ||
+		fixed.JointWilsonLow != rec.JointWilsonLow || fixed.JointWilsonHigh != rec.JointWilsonHigh ||
+		fixed.SingleErrors != rec.SingleErrors || fixed.SingleRate != rec.SingleRate ||
+		fixed.SingleWilsonLow != rec.SingleWilsonLow || fixed.SingleWilsonHigh != rec.SingleWilsonHigh ||
+		fixed.MeanHammingWeight != rec.MeanHammingWeight {
+		t.Fatalf("adaptive record is not a pure function of the grant:\nadaptive: %+v\nfixed:    %+v", rec, fixed)
+	}
+}
+
+// TestAdaptiveShotProgress is the progress-total fix: under an adaptive
+// budget the reported total must be the current checkpoint target,
+// growing monotonically with each extra grant, with done never ahead of
+// it. Run with a worker pool so the -race CI lane exercises the
+// callback's concurrency contract too.
+func TestAdaptiveShotProgress(t *testing.T) {
+	g := adaptiveGrid([]float64{1e-3})
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lastTotal, maxDone int
+	totals := map[int]bool{}
+	cfg := Config{Shots: 1 << 20, Seed: 3, Workers: 4,
+		Adaptive: &AdaptiveConfig{TargetRCI: 0.15},
+		ShotProgress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total < lastTotal {
+				t.Errorf("total shrank: %d after %d", total, lastTotal)
+			}
+			if done > total {
+				t.Errorf("done %d ahead of total %d", done, total)
+			}
+			lastTotal = total
+			if done > maxDone {
+				maxDone = done
+			}
+			totals[total] = true
+		}}
+	rec, err := ExecutePoint(NewBuildCache(), pts[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.StopReason != StopConverged {
+		t.Fatalf("point should converge within the budget: %+v", rec)
+	}
+	if len(totals) < 2 {
+		t.Fatalf("the allocator granted extra checkpoints, so more than one total must be reported; saw %v", totals)
+	}
+	if maxDone != rec.ShotsGranted || lastTotal != rec.ShotsGranted {
+		t.Fatalf("final progress (%d/%d) must land on the granted budget %d", maxDone, lastTotal, rec.ShotsGranted)
+	}
+}
+
+// TestAdaptiveRejectsMaxPoints pins the config incompatibility.
+func TestAdaptiveRejectsMaxPoints(t *testing.T) {
+	camp := &Campaign{Grid: quickGrid(),
+		Config: Config{MaxPoints: 1, Adaptive: &AdaptiveConfig{}}}
+	if _, err := camp.Run(); err == nil {
+		t.Fatal("MaxPoints with Adaptive must be rejected")
+	}
+}
+
+// TestAdaptiveInfeasiblePoint: infeasible points are recorded with zero
+// grant and consume no budget.
+func TestAdaptiveInfeasiblePoint(t *testing.T) {
+	g := Grid{
+		HW:       hardware.IBM(),
+		Policies: []core.Policy{core.ExtraRounds}, // no Diophantine solution at equal cycles
+	}
+	recs, _ := collectAdaptive(t, g, Config{Shots: 8192, Adaptive: &AdaptiveConfig{}}, nil)
+	if len(recs) != 1 || recs[0].Feasible {
+		t.Fatalf("infeasible point must yield a feasible=false record: %+v", recs)
+	}
+	rec := recs[0]
+	if rec.ShotsGranted != 0 || rec.StopReason != StopInfeasible || rec.Estimator != "" {
+		t.Fatalf("infeasible record must be (0, %q, \"\"), got (%d, %q, %q)",
+			StopInfeasible, rec.ShotsGranted, rec.StopReason, rec.Estimator)
+	}
+}
+
+// TestFixedRecordStopFields: the fixed path fills the new schema fields
+// too, so downstream consumers see one consistent schema.
+func TestFixedRecordStopFields(t *testing.T) {
+	recs, err := Collect(quickGrid(), quickCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if !rec.Feasible {
+			continue
+		}
+		if rec.ShotsGranted != rec.Shots || rec.StopReason != StopFixed || rec.Estimator != EstimatorMC {
+			t.Fatalf("fixed record fields (%d, %q, %q) want (%d, %q, %q)",
+				rec.ShotsGranted, rec.StopReason, rec.Estimator, rec.Shots, StopFixed, EstimatorMC)
+		}
+	}
+}
+
+// TestCheckpointLadder pins the canonical ladder's shape: shard-aligned,
+// strictly increasing, capped.
+func TestCheckpointLadder(t *testing.T) {
+	a := AdaptiveConfig{}.WithDefaults()
+	if c0 := a.firstCheckpoint(); c0 != 4096 {
+		t.Fatalf("first checkpoint %d, want 4096", c0)
+	}
+	c, seen := a.firstCheckpoint(), 0
+	for c < a.maxCheckpoint() {
+		n := a.nextCheckpoint(c)
+		if n <= c || n%4096 != 0 {
+			t.Fatalf("ladder must strictly increase in shard steps: %d -> %d", c, n)
+		}
+		// Growth is bounded: never more than 2× plus one shard, so
+		// overshoot past the stopping point stays modest.
+		if n > 2*c+4096 {
+			t.Fatalf("ladder grows too fast: %d -> %d", c, n)
+		}
+		c = n
+		if seen++; seen > 100 {
+			t.Fatal("ladder failed to reach the cap")
+		}
+	}
+	if c != a.maxCheckpoint() {
+		t.Fatalf("ladder must end at the cap: %d != %d", c, a.maxCheckpoint())
+	}
+	// Unaligned configs are aligned, not rejected.
+	b := AdaptiveConfig{MinShots: 5000, MaxShots: 100000}.WithDefaults()
+	if b.firstCheckpoint() != 8192 || b.maxCheckpoint() != 98304 {
+		t.Fatalf("alignment: first=%d max=%d", b.firstCheckpoint(), b.maxCheckpoint())
+	}
+}

@@ -1,0 +1,33 @@
+package sweep
+
+import "testing"
+
+// FuzzParseGrid hardens the grid grammar shared by the CLI and the
+// service: no flag-string combination may panic, and any spec that
+// parses must also expand to points without panicking (expansion may
+// still reject invalid axes like even distances — with an error).
+func FuzzParseGrid(f *testing.F) {
+	f.Add("IBM", "Passive,Active", "3", "1000", "1e-3", "X", "0")
+	f.Add("Google", "Ideal", "3,5,7", "500, 1000", "1e-2,1e-3,1e-4", "X,Z", "0,1200")
+	f.Add("QuEra", "Hybrid", "", "", "", "", "")
+	f.Add("IBM-Sherbrooke", "ExtraRounds", "-3", "NaN", "1e309", "ZZ", "-1")
+	f.Add("", "Active-intra", "9", "0", "0", "xx", "1e-9")
+	f.Add("bogus", "Unknown", "2", "abc", ",,,", "Y", "Inf")
+	f.Fuzz(func(t *testing.T, hw, policies, ds, taus, ps, bases, cyclePPs string) {
+		g, err := ParseGridSpec(GridSpec{
+			Hardware:      hw,
+			Policies:      policies,
+			Distances:     ds,
+			TausNs:        taus,
+			ErrorRates:    ps,
+			Bases:         bases,
+			CyclePPrimeNs: cyclePPs,
+		})
+		if err != nil {
+			return
+		}
+		if _, err := g.Points(); err != nil {
+			return
+		}
+	})
+}

@@ -61,6 +61,19 @@ type Record struct {
 	// MeanHammingWeight is the mean syndrome weight per shot.
 	MeanHammingWeight float64 `json:"mean_hamming_weight"`
 
+	// Adaptive-allocation outcome (EXPERIMENTS.md §12). ShotsGranted is
+	// the number of shots actually run: equal to Shots under a fixed
+	// budget, the allocator's grant under an adaptive one, and 0 for
+	// infeasible points. StopReason records why the point stopped —
+	// "fixed", "converged", "max-shots", "exhausted" or "infeasible".
+	// Estimator names the statistics path: "mc" (plain counting, Wilson
+	// intervals) or "importance" (rare-event importance sampling: the
+	// error fields count raw proposal-measure hits, rates and interval
+	// bounds are likelihood-weighted with a normal-approximation CI).
+	ShotsGranted int    `json:"shots_granted"`
+	StopReason   string `json:"stop_reason"`
+	Estimator    string `json:"estimator"`
+
 	// WallMs is the point's wall-clock execution time in milliseconds —
 	// the only field excluded from determinism guarantees.
 	WallMs float64 `json:"wall_ms"`
@@ -77,6 +90,25 @@ func (r *Record) fillStats(res mc.LERResult) {
 	r.SingleRate = single.Rate()
 	r.SingleWilsonLow, r.SingleWilsonHigh = single.WilsonInterval(1.96)
 	r.MeanHammingWeight = res.MeanHammingWeight()
+}
+
+// fillStatsWeighted populates the observable statistics from a
+// rare-event importance tally: error counts are raw proposal-measure
+// hits, rates and interval bounds come from the weighted estimator. The
+// interval columns are always reported at z = 1.96 so the schema means
+// "~95% interval" regardless of the allocator's stopping z.
+func (r *Record) fillStatsWeighted(t mc.WeightedTally) {
+	joint := t.Estimator(surface.ObsJoint)
+	single := t.Estimator(surface.ObsSingle)
+	jci := joint.CI(1.96)
+	sci := single.CI(1.96)
+	r.JointErrors = joint.Hits
+	r.JointRate = jci.Estimate
+	r.JointWilsonLow, r.JointWilsonHigh = jci.Low, jci.High
+	r.SingleErrors = single.Hits
+	r.SingleRate = sci.Estimate
+	r.SingleWilsonLow, r.SingleWilsonHigh = sci.Low, sci.High
+	r.MeanHammingWeight = t.MeanHammingWeight()
 }
 
 // CanonicalJSON renders the record's JSON line with the volatile wall_ms
@@ -131,7 +163,8 @@ func CSVHeader() []string {
 		"feasible", "extra_rounds_p", "extra_rounds_pprime", "total_idle_ns",
 		"joint_errors", "joint_rate", "joint_wilson_low", "joint_wilson_high",
 		"single_errors", "single_rate", "single_wilson_low", "single_wilson_high",
-		"mean_hamming_weight", "wall_ms",
+		"mean_hamming_weight", "shots_granted", "stop_reason", "estimator",
+		"wall_ms",
 	}
 }
 
@@ -179,7 +212,8 @@ func (c *CSVWriter) Write(r Record) error {
 		strconv.Itoa(r.ExtraRoundsPPrime), fstr(r.TotalIdleNs),
 		strconv.Itoa(r.JointErrors), fstr(r.JointRate), fstr(r.JointWilsonLow), fstr(r.JointWilsonHigh),
 		strconv.Itoa(r.SingleErrors), fstr(r.SingleRate), fstr(r.SingleWilsonLow), fstr(r.SingleWilsonHigh),
-		fstr(r.MeanHammingWeight), fstr(r.WallMs),
+		fstr(r.MeanHammingWeight), strconv.Itoa(r.ShotsGranted), r.StopReason, r.Estimator,
+		fstr(r.WallMs),
 	}
 	if err := c.cw.Write(row); err != nil {
 		return err

@@ -29,8 +29,20 @@ type Config struct {
 	// point (cumulative shots done, point budget). It is forwarded to
 	// mc.Pipeline.Progress, so it may be called concurrently from Monte
 	// Carlo workers; it must be cheap and race-free, and it never affects
-	// results. The simulation service uses it to stream progress events.
+	// results. Under an adaptive budget the reported total is the point's
+	// current checkpoint target and grows monotonically as the allocator
+	// grants more shots; done never exceeds the total reported with it.
+	// The simulation service uses it to stream progress events.
 	ShotProgress func(doneShots, totalShots int)
+	// Adaptive, when non-nil, switches the campaign to adaptive shot
+	// allocation (see AdaptiveConfig): Shots becomes a per-point *pool
+	// contribution* — the campaign spends at most Shots × feasible
+	// points in total, allocated to the widest confidence intervals —
+	// and records gain meaningful shots_granted/stop_reason/estimator
+	// fields. Incompatible with MaxPoints (the pool is sized from the
+	// whole grid, so slicing it is ill-defined); Run reports an error
+	// when both are set.
+	Adaptive *AdaptiveConfig
 }
 
 // WithDefaults resolves the zero values: 40000 shots, seed 0xC0FFEE.
@@ -94,6 +106,17 @@ func (c *Campaign) Run() (Summary, error) {
 	}
 	hits0, misses0 := cache.Stats()
 
+	if cfg.Adaptive != nil {
+		if cfg.MaxPoints > 0 {
+			return Summary{}, fmt.Errorf("sweep: MaxPoints is incompatible with adaptive allocation (the pool is sized from the whole grid)")
+		}
+		sum, err := c.runAdaptive(pts, cfg, cfg.Adaptive.WithDefaults(), cache)
+		hits1, misses1 := cache.Stats()
+		sum.CacheHits = hits1 - hits0
+		sum.CacheMisses = misses1 - misses0
+		return sum, err
+	}
+
 	sum := Summary{Points: len(pts)}
 	for i, pt := range pts {
 		key := pt.Key()
@@ -151,6 +174,9 @@ func (c *Campaign) Run() (Summary, error) {
 // first when resolved values matter), and cache may be shared across
 // concurrent calls.
 func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
+	if cfg.Adaptive != nil {
+		return executeAdaptivePoint(cache, pt, cfg, cfg.Adaptive.WithDefaults())
+	}
 	start := time.Now()
 	rec := Record{
 		Key:           pt.Key(),
@@ -183,6 +209,11 @@ func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 		pl.Workers = cfg.Workers
 		pl.Progress = cfg.ShotProgress
 		rec.fillStats(pl.Run(rec.Shots, rec.Seed))
+		rec.ShotsGranted = rec.Shots
+		rec.StopReason = StopFixed
+		rec.Estimator = EstimatorMC
+	} else {
+		rec.StopReason = StopInfeasible
 	}
 	rec.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
 	return rec, nil

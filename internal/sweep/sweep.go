@@ -101,6 +101,12 @@ func (g Grid) withDefaults() Grid {
 	return g
 }
 
+// maxGridPoints bounds Grid.Points expansion. A campaign of a million
+// points is already far past practical shot budgets; the bound exists so
+// a hostile or typo'd spec (the service accepts them over the network)
+// cannot stall the process inside a combinatorial walk.
+const maxGridPoints = 1 << 20
+
 // Points expands the grid into its points in canonical order (policy,
 // distance, slack, error rate, basis, T_P′ — slowest to fastest axis).
 // The order is part of the engine's contract: records stream out in this
@@ -122,6 +128,17 @@ func (g Grid) Points() ([]Point, error) {
 	for _, p := range g.ErrorRates {
 		if p < 0 || p >= 0.5 {
 			return nil, fmt.Errorf("sweep: error rate %v out of range [0, 0.5)", p)
+		}
+	}
+	// Bound the expansion before walking the product: grid specs arrive
+	// from network job payloads, and a few long axes would otherwise
+	// multiply into a CPU-exhausting (if mostly duplicate) walk.
+	product := 1
+	for _, n := range []int{len(g.Policies), len(g.Distances), len(g.SlackNs),
+		len(g.ErrorRates), len(g.Bases), len(g.CyclePPrimeNs)} {
+		// Check after every factor so the product cannot overflow.
+		if product *= n; product > maxGridPoints {
+			return nil, fmt.Errorf("sweep: grid expands to over %d coordinate tuples (limit %d)", product, maxGridPoints)
 		}
 	}
 	var pts []Point

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseTrace hardens the trace grammar: no input may panic the
+// parser, and any program that parses must satisfy the round-trip fixed
+// point Text() → Parse → Text() the rest of the pipeline relies on (the
+// simulation service hashes trace text for content addressing, so a
+// drifting re-encoding would split identical jobs across cache keys).
+func FuzzParseTrace(f *testing.F) {
+	if real, err := os.ReadFile("../../traces/factory8.trace"); err == nil {
+		f.Add(string(real))
+	} else {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	// The parse-error corpus from the error-message tests: every known
+	// reject path starts in-corpus so the fuzzer mutates from the edges.
+	for _, src := range []string{
+		"PATCH A\nPATCH B\nMERGE A B 3\nIDLE A 2\n",
+		"PATCH A 1200\nPATCH B 800\nMERGE A B\n",
+		"PATCH A\nSPLIT A\n",
+		"PATCH A\nMERGE A B\n",
+		"PATCH A\nPATCH B\nMERGE A\n",
+		"PATCH A\nPATCH A\n",
+		"PATCH A\nPATCH B\nMERGE A A\n",
+		"PATCH A xyz\n",
+		"PATCH A -5\n",
+		"PATCH A\nIDLE A many\n",
+		"PATCH A\nIDLE A -1\n",
+		"PATCH A\n\n# comment\nIDLE A\n",
+		"",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text := p.Text()
+		p2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("re-encoded program does not parse: %v\ntext:\n%s", err, text)
+		}
+		if p2.Text() != text {
+			t.Fatalf("Text() is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, p2.Text())
+		}
+	})
+}

@@ -187,6 +187,11 @@ type (
 	SweepPoint = sweep.Point
 	// SweepConfig carries campaign execution parameters.
 	SweepConfig = sweep.Config
+	// SweepAdaptive switches a campaign to adaptive shot allocation:
+	// sequential stopping on confidence-interval width with budget
+	// reallocation across points (EXPERIMENTS.md §12). Set it as
+	// SweepConfig.Adaptive.
+	SweepAdaptive = sweep.AdaptiveConfig
 	// SweepRecord is the machine-readable result of one campaign point.
 	SweepRecord = sweep.Record
 	// SweepSummary reports what a campaign run did.
