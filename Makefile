@@ -10,13 +10,13 @@ SHELL := /bin/bash
 # Substrate microbenchmarks: sampling, extraction, decoding, end-to-end
 # LER. Override BENCH to select others, BENCHTIME/COUNT for precision
 # (COUNT>=10 for benchstat-grade confidence intervals).
-BENCH ?= FrameSampling|Extraction|LUTDecode|UnionFindDecodeSteady|PipelineRunLowP|PipelineRunWorkers
+BENCH ?= FrameSampling|Extraction|LUTDecode|UnionFindDecodeSteady|PredecodedDecode|PipelineRunLowP|PipelineRunWorkers
 BENCHTIME ?= 2s
 COUNT ?= 1
 BENCH_OUT ?= bench.txt
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr7.json
 
-.PHONY: build test race cover fuzz serve bench bench-json bench-compare
+.PHONY: build test race cover fuzz serve bench bench-json bench-compare diff diff-long
 
 build:
 	$(GO) build ./...
@@ -58,8 +58,8 @@ serve:
 	$(GO) run ./cmd/latticesim serve -addr $(SERVE_ADDR) -data $(SERVE_DATA)
 
 # bench writes benchstat-friendly raw output to $(BENCH_OUT); compare
-# against the committed pre-PR-3 numbers with
-#   benchstat bench_baseline_pr3.txt bench.txt
+# against the committed PR-7 numbers with
+#   benchstat bench_baseline_pr7.txt bench.txt
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -count $(COUNT) . | tee $(BENCH_OUT)
 
@@ -67,13 +67,22 @@ bench:
 # record (ns/op, allocs/op, shots/s per benchmark), with the committed
 # baseline embedded for before/after comparison.
 bench-json: bench
-	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -baseline bench_baseline_pr3.txt -out $(BENCH_JSON)
+	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -baseline bench_baseline_pr7.txt -out $(BENCH_JSON)
 
 # bench-compare is the benchmark-regression gate CI runs: rerun the
 # suite and fail when any shared benchmark's shots/s dropped more than
 # TOLERANCE against the committed BASELINE_JSON (see README
 # "Contributing" for how to refresh the baseline).
-BASELINE_JSON ?= BENCH_pr3.json
+BASELINE_JSON ?= BENCH_pr7.json
 TOLERANCE ?= 0.30
 bench-compare: bench
 	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -compare $(BASELINE_JSON) -tolerance $(TOLERANCE) -out /dev/null
+
+# diff runs the differential harness's randomized suite (fixed seeds,
+# trimmed trial counts) under the race detector — the same job CI runs on
+# every push. diff-long removes -short for the full randomized sweep.
+diff:
+	$(GO) test -race -short -count 1 ./internal/testutil/diffharness
+
+diff-long:
+	$(GO) test -race -count 1 -timeout 30m ./internal/testutil/diffharness

@@ -119,6 +119,92 @@ func BenchmarkFrameSamplingCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkFrameSamplingWide measures the wide-word sampler — groups of
+// frame.WideWords 64-shot batches per pass over the compiled plan — on
+// the same circuits as BenchmarkFrameSamplingCompiled; the ratio is the
+// win from amortizing plan walking across lanes.
+func BenchmarkFrameSamplingWide(b *testing.B) {
+	group := []int{64, 64, 64, 64}[:frame.WideWords]
+	for _, d := range []int{3, 5, 7} {
+		res := buildMerge(b, d)
+		s := frame.Compile(res.Circuit).NewWideSampler()
+		rng := stats.NewRand(1)
+		b.Run(sizeName(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.SampleGroup(rng, group)
+			}
+			b.ReportMetric(float64(64*len(group))*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}
+
+// BenchmarkBatchExtraction measures grouped sparse extraction — the
+// Extract call producing the flat SparseBatch the decoder layer consumes
+// whole — on the same low-error d=7 batch as BenchmarkExtraction.
+func BenchmarkBatchExtraction(b *testing.B) {
+	res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-4}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := frame.Compile(res.Circuit).NewSampler()
+	batch := s.SampleBatch(stats.NewRand(1), 64)
+	ext := frame.NewExtractor()
+	var sp frame.SparseBatch
+	b.Run("grouped/d7-p=0.0001", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext.Extract(batch, &sp)
+		}
+		b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	})
+}
+
+// BenchmarkPredecodedDecode compares bare union-find against the
+// predecoder-fronted decoder on sampled d=7 memory syndromes at the
+// paper's operating point and below threshold — the workloads the
+// predecoder's weight gate is tuned on. Both decode the identical
+// per-shot defect stream; the ratio is the decomposition win.
+func BenchmarkPredecodedDecode(b *testing.B) {
+	for _, p := range []float64{1e-3, 1e-4} {
+		res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: p}.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := dem.FromCircuit(res.Circuit)
+		g := decoder.BuildGraph(m)
+		// Pool non-empty syndromes from many batches, the mix the Monte
+		// Carlo loop actually decodes (clean batches never reach Decode).
+		s := frame.Compile(res.Circuit).NewSampler()
+		ext := frame.NewExtractor()
+		rng := stats.NewRand(1)
+		var pool [][]int
+		for len(pool) < 512 {
+			ext.ForEachShot(s.SampleBatch(rng, 64), func(_ int, defects []int, _ uint64) {
+				if len(defects) > 0 {
+					pool = append(pool, append([]int(nil), defects...))
+				}
+			})
+		}
+		pre := decoder.NewPredecoder(g)
+		for _, variant := range []string{"unionfind", "predecoded"} {
+			var dec decoder.Decoder = decoder.NewUnionFind(g)
+			if variant == "predecoded" {
+				dec = pre.NewDecoder(decoder.NewUnionFind(g))
+			}
+			for _, defects := range pool {
+				dec.Decode(defects) // reach the scratch high-water mark
+			}
+			b.Run(fmt.Sprintf("%s/d7-p=%g", variant, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dec.Decode(pool[i%len(pool)])
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExtraction compares the dense per-shot scan with the sparse
 // transpose extractor on a low-error-rate d=7 memory batch — the regime
 // where almost no detectors fire and the dense O(64 × detectors) scan is

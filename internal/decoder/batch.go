@@ -1,0 +1,68 @@
+package decoder
+
+// Batched decoding contract (DESIGN.md §13).
+//
+// The Monte Carlo layer extracts syndromes a whole sampler group at a
+// time (multiple 64-shot words, see frame.Group); handing the decoder
+// the grouped sparse syndromes in one call lets it amortize per-shot
+// overheads — interface dispatch, scratch-generation bookkeeping, and
+// the predecoder's influence-stamp reuse — across the batch instead of
+// paying them per defect set.
+//
+// DecodeBatch must be an exact per-shot map: preds[i] equals what
+// Decode(sb.Shot(i)) would return, shot by shot, so batch decoding can
+// never move a bit of any result (the differential harness in
+// internal/testutil/diffharness enforces this end to end).
+
+// SyndromeBatch is a group of per-shot sparse syndromes in shot order:
+// shot i's fired detectors are Defects[Off[i]:Off[i+1]], ascending.
+type SyndromeBatch struct {
+	// Defects holds every shot's fired detectors, concatenated.
+	Defects []int
+	// Off indexes Defects per shot: len(Off) = Shots()+1, Off[0] = 0.
+	Off []int32
+}
+
+// Shots returns the number of shots in the batch.
+func (sb *SyndromeBatch) Shots() int {
+	if len(sb.Off) == 0 {
+		return 0
+	}
+	return len(sb.Off) - 1
+}
+
+// Shot returns shot i's fired detectors (aliasing the flat buffer).
+func (sb *SyndromeBatch) Shot(i int) []int {
+	return sb.Defects[sb.Off[i]:sb.Off[i+1]]
+}
+
+// Reset empties the batch for reuse, keeping capacity.
+func (sb *SyndromeBatch) Reset() {
+	sb.Defects = sb.Defects[:0]
+	sb.Off = append(sb.Off[:0], 0)
+}
+
+// Append adds one shot's defect list to the batch.
+func (sb *SyndromeBatch) Append(defects []int) {
+	sb.Defects = append(sb.Defects, defects...)
+	sb.Off = append(sb.Off, int32(len(sb.Defects)))
+}
+
+// BatchDecoder decodes a grouped syndrome batch in one call. preds must
+// have length sb.Shots(); entry i receives exactly Decode(sb.Shot(i)).
+type BatchDecoder interface {
+	Decoder
+	DecodeBatch(sb *SyndromeBatch, preds []uint64)
+}
+
+// DecodeBatch decodes each shot in order with the scalar decoder. The
+// union-find decoder has no cross-shot state to amortize beyond its
+// retained scratch, so the batch form is the plain per-shot loop; it
+// exists so the wide Monte Carlo path can stay on the batched interface
+// for every decoder (the predecoder's DecodeBatch is where batching
+// pays).
+func (d *UnionFind) DecodeBatch(sb *SyndromeBatch, preds []uint64) {
+	for i := range preds {
+		preds[i] = d.Decode(sb.Shot(i))
+	}
+}

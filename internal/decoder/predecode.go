@@ -1,0 +1,305 @@
+package decoder
+
+import "math"
+
+// Sliding-window predecoder (DESIGN.md §13).
+//
+// At the low error rates the paper's figures live at, a large share of
+// syndromes are a scatter of independent single-mechanism errors: an
+// isolated adjacent defect pair (a two-detector mechanism) or a lone
+// defect next to a boundary. Decoding those through the full union-find
+// machinery — growth sweeps, fusion, peeling — costs microseconds for
+// answers that never change. The predecoder slides over the
+// time-ordered defect list, greedily matches defects that are adjacent
+// in the decoder graph, and — when the *whole* syndrome decomposes into
+// such memoized units — answers with a pure XOR of precomputed
+// predictions, no union-find at all. Anything non-trivial falls through
+// to the full decoder untouched, paying only the matching probe.
+//
+// Bit-identity is by construction, not by approximation. For every
+// detector–detector edge (pair unit) and every detector (singleton
+// unit) the predecoder precomputes (a) the exact union-find prediction
+// for that defect set in isolation and (b) its influence closure: every
+// node the isolated run touches (initialized nodes plus both endpoints
+// of every edge it grows). Union-find clusters interact only through
+// shared nodes, so when the closures of units covering all defects are
+// pairwise disjoint, the full decode provably decomposes into the XOR
+// of the per-unit answers (the decomposition argument is spelled out in
+// DESIGN.md §13; TestPredecodedMatchesUnionFind fuzzes it with a
+// shrinker, and the differential harness gates the Monte Carlo
+// integration on it). Any closure overlap — or any defect heavier than
+// the attempt gate — takes the fall-through path, so a failed
+// decomposition can cost a probe but never correctness.
+
+// maxPredecodeWeight gates the decomposition attempt: syndromes with
+// more defects go straight to the full decoder. Dense syndromes almost
+// never decompose (their unit closures overlap), so probing them would
+// tax exactly the shots that are already the most expensive; light
+// syndromes are where the lookup path hits. The value is tuned on the
+// d=7 memory workloads in BenchmarkPredecodedDecode.
+const maxPredecodeWeight = 12
+
+// Predecoder holds the immutable per-graph tables: adjacency for pair
+// matching plus per-unit memoized predictions and influence closures.
+// Build one per decoder graph with NewPredecoder and share it across
+// workers; per-worker state lives in Predecoded (see NewDecoder).
+type Predecoder struct {
+	g *Graph
+
+	// nbr lists, per detector, the detector neighbours it can pair with:
+	// nbr[u] = {v, edge} for every detector–detector edge (u,v). Order
+	// follows the graph's edge order, making greedy matching
+	// deterministic.
+	nbr [][]pairCand
+
+	// pairPred[e] is UnionFind.Decode({A,B}) for detector–detector edge
+	// e, with defects in ascending order; pairInfl[e] is the influence
+	// closure of that run (sorted, deduplicated). Both are nil for
+	// boundary edges, which can never be a defect pair.
+	pairPred []uint64
+	pairInfl [][]int32
+
+	// soloPred[v] / soloInfl[v] memoize UnionFind.Decode({v}) per
+	// detector: the singleton unit backing unmatched defects.
+	soloPred []uint64
+	soloInfl [][]int32
+}
+
+// pairCand is one matching candidate: defect v reachable via edge e.
+type pairCand struct {
+	v int32
+	e int32
+}
+
+// NewPredecoder builds the unit-memo tables for the graph by running an
+// instrumented union-find decode per detector–detector edge and per
+// detector. The tables are immutable afterwards and safe to share
+// across goroutines.
+func NewPredecoder(g *Graph) *Predecoder {
+	p := &Predecoder{
+		g:        g,
+		nbr:      make([][]pairCand, g.NumDetectors),
+		pairPred: make([]uint64, len(g.Edges)),
+		pairInfl: make([][]int32, len(g.Edges)),
+		soloPred: make([]uint64, g.NumDetectors),
+		soloInfl: make([][]int32, g.NumDetectors),
+	}
+	uf := NewUnionFind(g)
+	seen := make([]bool, g.NumNodes)
+	defects := make([]int, 2)
+	for ei, e := range g.Edges {
+		if g.IsBoundary(e.A) || g.IsBoundary(e.B) {
+			continue
+		}
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		p.nbr[a] = append(p.nbr[a], pairCand{v: b, e: int32(ei)})
+		p.nbr[b] = append(p.nbr[b], pairCand{v: a, e: int32(ei)})
+		// Memoize the exact answer and closure for this pair, with the
+		// defects in the ascending order the extractor delivers them.
+		defects[0], defects[1] = int(a), int(b)
+		obs, closure := uf.decodeTouch(defects, nil)
+		p.pairPred[ei] = obs
+		p.pairInfl[ei] = dedupNodes(closure, seen)
+	}
+	solo := make([]int, 1)
+	for v := 0; v < g.NumDetectors; v++ {
+		solo[0] = v
+		obs, closure := uf.decodeTouch(solo, nil)
+		p.soloPred[v] = obs
+		p.soloInfl[v] = dedupNodes(closure, seen)
+	}
+	return p
+}
+
+// dedupNodes returns a sorted copy of nodes without duplicates, using
+// the caller's scratch marker array (cleared before return).
+func dedupNodes(nodes []int32, seen []bool) []int32 {
+	out := make([]int32, 0, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range out {
+		seen[n] = false
+	}
+	// Insertion sort: closures are small and nearly sorted already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// decodeTouch is Decode plus influence instrumentation: it returns the
+// prediction together with the run's influence closure — every node
+// initialized by the run plus both endpoints of every edge it grew —
+// appended to the caller's buffer. The closure may contain duplicates.
+func (d *UnionFind) decodeTouch(defects []int, closure []int32) (uint64, []int32) {
+	if len(defects) == 0 {
+		return 0, closure
+	}
+	for _, n := range defects {
+		nn := int32(n)
+		d.initNode(nn)
+		d.defect[nn] = true
+		d.parity[d.find(nn)] ^= 1
+	}
+	d.grow(defects)
+	obs := d.peel()
+	closure = append(closure, d.touched...)
+	for _, ei := range d.tEdges {
+		e := d.g.Edges[ei]
+		closure = append(closure, e.A, e.B)
+	}
+	d.reset()
+	return obs, closure
+}
+
+// Predecoded is a per-worker decoder: the shared Predecoder tables, a
+// private union-find fall-through, and private scratch. It implements
+// both Decoder and BatchDecoder and produces exactly the fall-through
+// decoder's output for every defect set. Not safe for concurrent use.
+type Predecoded struct {
+	t  *Predecoder
+	uf *UnionFind
+
+	// Per-shot scratch, generation-stamped so nothing is cleared between
+	// shots.
+	present []int32 // per detector: generation when it is a live defect
+	pairOf  []int32 // per detector: index into pairs when matched
+	inflGen []int32 // per node: generation when inside a stamped closure
+	gen     int32
+	pairs   []peeledPair
+
+	// Telemetry (observation only; not part of any result).
+	shots int // decodes seen
+	hits  int // syndromes answered by full decomposition
+}
+
+// peeledPair is one matched pair: its edge and defect endpoints, with a
+// the earlier (lower) defect.
+type peeledPair struct {
+	e    int32
+	a, b int32
+}
+
+// NewDecoder mints a per-worker predecoded decoder around a private
+// union-find fall-through for the same graph.
+func (p *Predecoder) NewDecoder(uf *UnionFind) *Predecoded {
+	return &Predecoded{
+		t:       p,
+		uf:      uf,
+		present: make([]int32, p.g.NumDetectors),
+		pairOf:  make([]int32, p.g.NumDetectors),
+		inflGen: make([]int32, p.g.NumNodes),
+	}
+}
+
+// EmptySyndromeFree marks the predecoded decoder: an empty defect set
+// decodes to 0 with no side effects, like its union-find fall-through.
+func (d *Predecoded) EmptySyndromeFree() bool { return true }
+
+// Stats reports (shots decoded, full-decomposition hits) since
+// construction, for benchmarks and tuning. Observation only.
+func (d *Predecoded) Stats() (shots, hits int) {
+	return d.shots, d.hits
+}
+
+// Decode predicts the observable-flip mask for the fired detectors,
+// bit-identically to the union-find fall-through alone.
+func (d *Predecoded) Decode(defects []int) uint64 {
+	d.shots++
+	n := len(defects)
+	if n == 0 {
+		return 0
+	}
+	t := d.t
+	if n == 1 {
+		// A lone defect is the memoized singleton run itself.
+		d.hits++
+		return t.soloPred[defects[0]]
+	}
+	if n > maxPredecodeWeight {
+		return d.uf.Decode(defects)
+	}
+	if d.gen == math.MaxInt32 {
+		// Generation wraparound (multi-billion-shot workers): clear every
+		// stamp array once and restart the counter.
+		clear(d.present)
+		clear(d.inflGen)
+		d.gen = 0
+	}
+	d.gen++
+	gen := d.gen
+	for _, u := range defects {
+		d.present[u] = gen
+		d.pairOf[u] = -1
+	}
+
+	// Slide over the time-ordered defect list, greedily matching each
+	// unmatched defect with its first unmatched graph neighbour.
+	pairs := d.pairs[:0]
+	for _, u := range defects {
+		if d.pairOf[u] >= 0 {
+			continue
+		}
+		for _, c := range t.nbr[u] {
+			if d.present[c.v] != gen || d.pairOf[c.v] >= 0 {
+				continue
+			}
+			d.pairOf[u] = int32(len(pairs))
+			d.pairOf[c.v] = int32(len(pairs))
+			pairs = append(pairs, peeledPair{e: c.e, a: int32(u), b: c.v})
+			break
+		}
+	}
+	d.pairs = pairs
+
+	// Walk the defects in order, covering each with its unit — the
+	// matched pair, or the singleton memo — and checking that all unit
+	// closures are pairwise disjoint. Any overlap means the units could
+	// interact in the combined run, so the decomposition is abandoned
+	// and the full decoder answers.
+	var pred uint64
+	for _, u := range defects {
+		var infl []int32
+		var unitPred uint64
+		if pi := d.pairOf[u]; pi >= 0 {
+			p := pairs[pi]
+			if p.b == int32(u) {
+				continue // second endpoint: unit already processed at a
+			}
+			infl = t.pairInfl[p.e]
+			unitPred = t.pairPred[p.e]
+		} else {
+			infl = t.soloInfl[u]
+			unitPred = t.soloPred[u]
+		}
+		for _, node := range infl {
+			if d.inflGen[node] == gen {
+				return d.uf.Decode(defects)
+			}
+		}
+		for _, node := range infl {
+			d.inflGen[node] = gen
+		}
+		pred ^= unitPred
+	}
+	d.hits++
+	return pred
+}
+
+// DecodeBatch decodes the grouped syndromes shot by shot. The
+// generation-stamped scratch makes consecutive shots free of clearing
+// work, which is where batching the predecoder pays.
+func (d *Predecoded) DecodeBatch(sb *SyndromeBatch, preds []uint64) {
+	for i := range preds {
+		preds[i] = d.Decode(sb.Shot(i))
+	}
+}

@@ -18,22 +18,31 @@ import (
 // state — once the scratch has grown to the workload's high-water mark —
 // Decode performs no heap allocations (see TestUnionFindDecodeAllocFree).
 type UnionFind struct {
-	g     *Graph
-	wInt  []int32 // scaled integer edge weights (>=1)
-	grown []int32 // growth units accumulated per edge
-	done  []bool  // edge fully grown (endpoints fused)
+	g *Graph
+
+	// es packs every per-edge field the grow inner loop touches — scaled
+	// integer weight, accumulated growth, last-sweep increment (the
+	// fast-forward bookkeeping) and the done flag — into one 16-byte
+	// struct, so a frontier-entry visit costs one cache line instead of
+	// four scattered array reads.
+	es []edgeState
 
 	parent   []int32
 	size     []int32
 	parity   []uint8 // per root: defect parity
 	boundary []bool  // per root: cluster contains a virtual boundary node
 
-	// Frontier lists (incident edge indices per cluster root) live in one
-	// flat arena: frSpan[n] addresses node n's block inside frArena. The
-	// arena is bump-allocated per decode and truncated on reset, so its
+	// Frontier lists live in one flat arena: frSpan[n] addresses node n's
+	// block inside frArena. Entries are packed (edge index << 32 | far
+	// endpoint), precomputed per node in adjPacked: a frontier entry's
+	// origin node stays inside its cluster forever (clusters only merge),
+	// so the far endpoint alone decides incidence — one find per entry
+	// instead of two, and no Edge load in the grow inner loop. The arena
+	// is bump-allocated per decode and truncated on reset, so its
 	// capacity is reused across shots.
-	frSpan  []span
-	frArena []int32
+	frSpan    []span
+	frArena   []int64
+	adjPacked [][]int64
 
 	inited  []bool
 	defect  []bool
@@ -45,10 +54,8 @@ type UnionFind struct {
 
 	active []int32 // grow scratch: odd, boundaryless roots this sweep
 
-	// Fast-forward scratch: per-edge growth increments observed in the
-	// last sweep, used to jump over the unit-growth sweeps between fusion
-	// events (see grow).
-	edgeDelta    []int32
+	// Fast-forward scratch: edges whose delta field is nonzero after the
+	// last sweep (see grow).
 	deltaTouched []int32
 
 	// Peeling scratch: per-node incident fully-grown edges plus BFS
@@ -68,6 +75,17 @@ type span struct {
 	off, n, cap int32
 }
 
+// edgeState is the per-edge working state of weighted growth: w is the
+// scaled integer weight (>=1), grown the accumulated growth units,
+// delta the increment observed in the last sweep (fast-forward
+// bookkeeping), done whether the edge is fully grown.
+type edgeState struct {
+	w     int32
+	grown int32
+	delta int32
+	done  bool
+}
+
 // peelStep is one BFS spanning-tree entry: node plus the edge and node it
 // was discovered through.
 type peelStep struct {
@@ -83,28 +101,39 @@ const weightScale = 4.0
 // NewUnionFind prepares a decoder for the graph.
 func NewUnionFind(g *Graph) *UnionFind {
 	d := &UnionFind{
-		g:         g,
-		wInt:      make([]int32, len(g.Edges)),
-		grown:     make([]int32, len(g.Edges)),
-		done:      make([]bool, len(g.Edges)),
-		edgeDelta: make([]int32, len(g.Edges)),
-		parent:    make([]int32, g.NumNodes),
-		size:      make([]int32, g.NumNodes),
-		parity:    make([]uint8, g.NumNodes),
-		boundary:  make([]bool, g.NumNodes),
-		frSpan:    make([]span, g.NumNodes),
-		inited:    make([]bool, g.NumNodes),
-		defect:    make([]bool, g.NumNodes),
-		stamp:     make([]int32, g.NumNodes),
-		peelAdj:   make([][]int32, g.NumNodes),
-		seen:      make([]int32, g.NumNodes),
+		g:        g,
+		es:       make([]edgeState, len(g.Edges)),
+		parent:   make([]int32, g.NumNodes),
+		size:     make([]int32, g.NumNodes),
+		parity:   make([]uint8, g.NumNodes),
+		boundary: make([]bool, g.NumNodes),
+		frSpan:   make([]span, g.NumNodes),
+		inited:   make([]bool, g.NumNodes),
+		defect:   make([]bool, g.NumNodes),
+		stamp:    make([]int32, g.NumNodes),
+		peelAdj:  make([][]int32, g.NumNodes),
+		seen:     make([]int32, g.NumNodes),
 	}
 	for i, e := range g.Edges {
 		w := int32(math.Round(e.Weight * weightScale))
 		if w < 1 {
 			w = 1
 		}
-		d.wInt[i] = w
+		d.es[i].w = w
+	}
+	d.adjPacked = make([][]int64, g.NumNodes)
+	for n := range d.adjPacked {
+		adj := g.Adj[n]
+		packed := make([]int64, len(adj))
+		for i, ei := range adj {
+			e := g.Edges[ei]
+			far := e.A
+			if far == int32(n) {
+				far = e.B
+			}
+			packed[i] = int64(ei)<<32 | int64(far)
+		}
+		d.adjPacked[n] = packed
 	}
 	return d
 }
@@ -121,9 +150,9 @@ func (d *UnionFind) find(n int32) int32 {
 }
 
 // frInit bump-allocates node n's frontier block and fills it with the
-// node's incident edges.
+// node's incident (edge, far endpoint) entries.
 func (d *UnionFind) frInit(n int32) {
-	adj := d.g.Adj[n]
+	adj := d.adjPacked[n]
 	off := int32(len(d.frArena))
 	d.frArena = append(d.frArena, adj...)
 	d.frSpan[n] = span{off: off, n: int32(len(adj)), cap: int32(len(adj))}
@@ -147,7 +176,7 @@ func (d *UnionFind) frConcat(ra, rb int32) {
 		off := int32(len(d.frArena))
 		d.frArena = append(d.frArena, d.frArena[sa.off:sa.off+sa.n]...)
 		d.frArena = append(d.frArena, d.frArena[sb.off:sb.off+sb.n]...)
-		d.frArena = append(d.frArena, make([]int32, capN-total)...)
+		d.frArena = append(d.frArena, make([]int64, capN-total)...)
 		sa = span{off: off, n: total, cap: capN}
 	}
 	d.frSpan[ra] = sa
@@ -255,36 +284,31 @@ func (d *UnionFind) grow(defects []int) {
 			i := int32(0)
 			fused := false
 			for i < s.n {
-				ei := d.frArena[s.off+i]
-				incident := false
-				if !d.done[ei] {
-					e := d.g.Edges[ei]
-					ra, rb := int32(-1), int32(-1)
-					if d.inited[e.A] {
-						ra = d.find(e.A)
-					}
-					if d.inited[e.B] {
-						rb = d.find(e.B)
-					}
-					incident = (ra == r) != (rb == r)
-				}
+				pk := d.frArena[s.off+i]
+				ei := int32(pk >> 32)
+				far := int32(pk)
+				es := &d.es[ei]
+				// The entry's origin node is in r by construction, so the
+				// edge is incident exactly when the far endpoint is not.
+				incident := !es.done &&
+					(!d.inited[far] || d.find(far) != r)
 				if !incident {
 					s.n--
 					d.frArena[s.off+i] = d.frArena[s.off+s.n]
 					continue
 				}
-				if d.grown[ei] == 0 {
+				if es.grown == 0 {
 					d.tEdges = append(d.tEdges, ei)
 				}
-				d.grown[ei]++
-				if d.edgeDelta[ei] == 0 {
+				es.grown++
+				if es.delta == 0 {
 					deltas = append(deltas, ei)
 				}
-				d.edgeDelta[ei]++
+				es.delta++
 				progress = true
-				if d.grown[ei] >= d.wInt[ei] {
+				if es.grown >= es.w {
 					e := d.g.Edges[ei]
-					d.done[ei] = true
+					es.done = true
 					s.n--
 					d.frArena[s.off+i] = d.frArena[s.off+s.n]
 					d.frSpan[r] = s
@@ -308,19 +332,21 @@ func (d *UnionFind) grow(defects []int) {
 			// runs for real, preserving in-sweep fusion order).
 			k := int32(1<<31 - 1)
 			for _, ei := range deltas {
-				rem := d.wInt[ei] - d.grown[ei]
-				if ke := (rem + d.edgeDelta[ei] - 1) / d.edgeDelta[ei]; ke < k {
+				es := &d.es[ei]
+				rem := es.w - es.grown
+				if ke := (rem + es.delta - 1) / es.delta; ke < k {
 					k = ke
 				}
 			}
 			if k > 1 {
 				for _, ei := range deltas {
-					d.grown[ei] += (k - 1) * d.edgeDelta[ei]
+					es := &d.es[ei]
+					es.grown += (k - 1) * es.delta
 				}
 			}
 		}
 		for _, ei := range d.deltaTouched {
-			d.edgeDelta[ei] = 0
+			d.es[ei].delta = 0
 		}
 		d.deltaTouched = d.deltaTouched[:0]
 		if !progress {
@@ -341,7 +367,7 @@ func (d *UnionFind) peel() uint64 {
 	// construction is deterministic).
 	nodes := d.peelNodes[:0]
 	for _, ei := range d.tEdges {
-		if !d.done[ei] {
+		if !d.es[ei].done {
 			continue
 		}
 		e := d.g.Edges[ei]
@@ -443,8 +469,8 @@ func (d *UnionFind) reset() {
 	d.touched = d.touched[:0]
 	d.frArena = d.frArena[:0]
 	for _, ei := range d.tEdges {
-		d.grown[ei] = 0
-		d.done[ei] = false
+		d.es[ei].grown = 0
+		d.es[ei].done = false
 	}
 	d.tEdges = d.tEdges[:0]
 }

@@ -212,6 +212,29 @@ func (p *Plan) FusedOps() int { return p.fusedOps }
 // SourceOps returns the op count of the source circuit.
 func (p *Plan) SourceOps() int { return p.sourceOps }
 
+// DetectorInstr returns the index of the plan instruction that computes
+// detector word d, or -1 if no instruction writes it. The differential
+// harness uses it to name the instruction behind a diverging word.
+func (p *Plan) DetectorInstr(d int) int {
+	for i := range p.instrs {
+		if in := &p.instrs[i]; in.kind == iDetector && int(in.out) == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// ObservableInstr returns the index of the first plan instruction that
+// accumulates into observable word o, or -1 if none does.
+func (p *Plan) ObservableInstr(o int) int {
+	for i := range p.instrs {
+		if in := &p.instrs[i]; in.kind == iObservable && int(in.out) == o {
+			return i
+		}
+	}
+	return -1
+}
+
 // NewSampler mints a sampler that executes the compiled plan. Each
 // sampler owns private scratch; mint one per goroutine.
 func (p *Plan) NewSampler() *Sampler {

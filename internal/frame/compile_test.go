@@ -1,172 +1,17 @@
 package frame
 
+// The sampler equivalence properties (interpreted vs compiled vs wide)
+// now live in the shared differential harness — see
+// internal/testutil/diffharness and diff_test.go in this package's
+// external test suite. This file keeps the plan-structure and scratch
+// tests that need package-internal visibility.
+
 import (
-	"math/rand/v2"
-	"reflect"
 	"testing"
 
 	"latticesim/internal/circuit"
-	"latticesim/internal/hardware"
 	"latticesim/internal/stats"
-	"latticesim/internal/surface"
 )
-
-// randomCircuit generates a valid random stabilizer circuit exercising
-// every op type, with runs of repeated op types so compilation actually
-// fuses, plus detectors/observables over random measurement records.
-func randomCircuit(rng *rand.Rand, nq int32, ops int) *circuit.Circuit {
-	c := circuit.New()
-	all := make([]int32, nq)
-	for i := range all {
-		all[i] = int32(i)
-	}
-	c.Reset(all...)
-	var recs []int32
-
-	someQubits := func() []int32 {
-		n := 1 + rng.IntN(int(nq))
-		out := make([]int32, 0, n)
-		for _, q := range rng.Perm(int(nq))[:n] {
-			out = append(out, int32(q))
-		}
-		return out
-	}
-	somePairs := func() []int32 {
-		perm := rng.Perm(int(nq))
-		n := 1 + rng.IntN(int(nq)/2)
-		out := make([]int32, 0, 2*n)
-		for i := 0; i < n; i++ {
-			out = append(out, int32(perm[2*i]), int32(perm[2*i+1]))
-		}
-		return out
-	}
-	someP := func() float64 {
-		switch rng.IntN(8) {
-		case 0:
-			return 1.0 // deterministic channel
-		case 1:
-			return 1e-4
-		default:
-			return 0.02 + 0.3*rng.Float64()
-		}
-	}
-
-	kind := rng.IntN(14)
-	for i := 0; i < ops; i++ {
-		// Repeat the previous op type half the time so adjacent same-type
-		// runs (the fusion case) are common.
-		if rng.IntN(2) == 0 {
-			kind = rng.IntN(14)
-		}
-		switch kind {
-		case 0:
-			c.H(someQubits()...)
-		case 1:
-			c.S(someQubits()...)
-		case 2:
-			c.X(someQubits()...)
-		case 3:
-			c.Z(someQubits()...)
-		case 4:
-			c.CNOT(somePairs()...)
-		case 5:
-			c.Reset(someQubits()...)
-		case 6:
-			recs = append(recs, c.Measure(someQubits()...)...)
-		case 7:
-			recs = append(recs, c.MeasureReset(someQubits()...)...)
-		case 8:
-			c.XError(someP(), someQubits()...)
-		case 9:
-			c.ZError(someP(), someQubits()...)
-		case 10:
-			c.Depolarize1(someP(), someQubits()...)
-		case 11:
-			c.Depolarize2(someP(), somePairs()...)
-		case 12:
-			px, py, pz := someP()/3, someP()/3, someP()/3
-			c.PauliChannel1(px, py, pz, someQubits()...)
-		case 13:
-			switch rng.IntN(3) {
-			case 0:
-				c.Tick()
-			case 1:
-				c.QubitCoords(int32(rng.IntN(int(nq))), rng.Float64(), rng.Float64())
-			case 2:
-				if len(recs) > 0 {
-					k := 1 + rng.IntN(3)
-					sel := make([]int32, 0, k)
-					for j := 0; j < k; j++ {
-						sel = append(sel, recs[rng.IntN(len(recs))])
-					}
-					if rng.IntN(2) == 0 {
-						c.Detector([]float64{0, 0, float64(i)}, sel...)
-					} else {
-						c.Observable(rng.IntN(3), sel...)
-					}
-				}
-			}
-		}
-	}
-	// Guarantee at least one measurement, detector and observable.
-	recs = append(recs, c.Measure(all...)...)
-	c.Detector(nil, recs[len(recs)-1])
-	c.Observable(0, recs[len(recs)-1])
-	return c
-}
-
-// sampleWords runs nBatches batches with the given shot counts and
-// returns copies of every Det/Obs word produced.
-func sampleWords(s *Sampler, seed uint64, shotCounts []int) (det, obs [][]uint64) {
-	rng := stats.NewRand(seed)
-	for _, n := range shotCounts {
-		b := s.SampleBatch(rng, n)
-		det = append(det, append([]uint64(nil), b.Det...))
-		obs = append(obs, append([]uint64(nil), b.Obs...))
-	}
-	return det, obs
-}
-
-// TestCompiledMatchesInterpreted is the tentpole equivalence property:
-// a compiled sampler must consume the identical RNG stream and produce
-// bit-identical Det/Obs words to the interpreting sampler, over
-// randomized circuits, seeds and partial batches.
-func TestCompiledMatchesInterpreted(t *testing.T) {
-	shotCounts := []int{64, 64, 17, 1, 63}
-	for trial := 0; trial < 30; trial++ {
-		genRng := rand.New(rand.NewPCG(uint64(trial), 99))
-		c := randomCircuit(genRng, int32(4+genRng.IntN(8)), 40+genRng.IntN(80))
-		if err := c.Validate(); err != nil {
-			t.Fatalf("trial %d: generator produced invalid circuit: %v", trial, err)
-		}
-		plan := Compile(c)
-		for _, seed := range []uint64{1, 7, 0xDEAD} {
-			di, oi := sampleWords(NewSampler(c), seed, shotCounts)
-			dc, oc := sampleWords(plan.NewSampler(), seed, shotCounts)
-			if !reflect.DeepEqual(di, dc) {
-				t.Fatalf("trial %d seed %d: detector words diverge between interpreted and compiled sampling", trial, seed)
-			}
-			if !reflect.DeepEqual(oi, oc) {
-				t.Fatalf("trial %d seed %d: observable words diverge between interpreted and compiled sampling", trial, seed)
-			}
-		}
-	}
-}
-
-// TestCompiledMatchesInterpretedSurface pins the equivalence on a real
-// lattice-surgery circuit, the workload the Monte Carlo layer runs.
-func TestCompiledMatchesInterpretedSurface(t *testing.T) {
-	res, err := surface.MergeSpec{D: 3, Basis: surface.BasisX, HW: hardware.IBM(), P: 1e-3}.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	shotCounts := []int{64, 64, 64, 40}
-	di, oi := sampleWords(NewSampler(res.Circuit), 5, shotCounts)
-	dc, oc := sampleWords(Compile(res.Circuit).NewSampler(), 5, shotCounts)
-	if !reflect.DeepEqual(di, dc) || !reflect.DeepEqual(oi, oc) {
-		t.Fatal("compiled sampling diverges from interpreted sampling on a surface-code circuit")
-	}
-}
 
 // TestCompileFusesAndDrops checks the plan is actually compact: adjacent
 // same-type gate ops fuse, and annotations vanish from the stream.
@@ -199,38 +44,6 @@ func TestCompileFusesAndDrops(t *testing.T) {
 	// Fused instructions must not have mutated the circuit's own slices.
 	if len(c.Ops[1].Targets) != 1 || c.Ops[1].Targets[0] != 0 {
 		t.Fatalf("compilation mutated circuit op targets: %v", c.Ops[1].Targets)
-	}
-}
-
-// TestExtractorMatchesDense is the extraction equivalence property: the
-// sparse transpose-based extractor must visit the identical
-// (shot, defects, obsMask) stream as the dense scan, over randomized
-// circuits and batch sizes.
-func TestExtractorMatchesDense(t *testing.T) {
-	type shotView struct {
-		shot    int
-		defects []int
-		mask    uint64
-	}
-	ext := NewExtractor()
-	for trial := 0; trial < 30; trial++ {
-		genRng := rand.New(rand.NewPCG(uint64(trial), 7))
-		c := randomCircuit(genRng, int32(4+genRng.IntN(6)), 30+genRng.IntN(60))
-		s := NewSampler(c)
-		rng := stats.NewRand(uint64(trial) + 1)
-		for _, shots := range []int{64, 31, 1} {
-			b := s.SampleBatch(rng, shots)
-			var dense, sparse []shotView
-			b.ForEachShot(func(shot int, defects []int, mask uint64) {
-				dense = append(dense, shotView{shot, append([]int(nil), defects...), mask})
-			})
-			ext.ForEachShot(b, func(shot int, defects []int, mask uint64) {
-				sparse = append(sparse, shotView{shot, append([]int(nil), defects...), mask})
-			})
-			if !reflect.DeepEqual(dense, sparse) {
-				t.Fatalf("trial %d shots %d: sparse extraction diverges from dense scan", trial, shots)
-			}
-		}
 	}
 }
 

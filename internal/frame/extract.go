@@ -59,3 +59,34 @@ func (e *Extractor) ForEachShot(b Batch, fn func(shot int, defects []int, obsMas
 		fn(i, e.defects[i], e.masks[i])
 	}
 }
+
+// SparseBatch is the grouped sparse form of one Batch: shot i's fired
+// detectors are Defects[Off[i]:Off[i+1]] (ascending), its observable
+// flips ObsMask[i]. The flat layout is what the decoder layer's batched
+// interface consumes (decoder.SyndromeBatch aliases the same slices), so
+// a whole batch crosses the frame→decoder boundary in one call.
+type SparseBatch struct {
+	Defects []int
+	Off     []int32
+	ObsMask []uint64
+}
+
+// Shot returns shot i's fired detectors (aliasing the flat buffer).
+func (sp *SparseBatch) Shot(i int) []int {
+	return sp.Defects[sp.Off[i]:sp.Off[i+1]]
+}
+
+// Extract fills dst with the batch's grouped sparse syndromes: the
+// identical (defects, obsMask) stream ForEachShot visits, concatenated
+// in shot order. dst's slices are truncated and reused, so steady-state
+// extraction does not allocate.
+func (e *Extractor) Extract(b Batch, dst *SparseBatch) {
+	dst.Defects = dst.Defects[:0]
+	dst.Off = append(dst.Off[:0], 0)
+	dst.ObsMask = dst.ObsMask[:0]
+	e.ForEachShot(b, func(_ int, defects []int, obsMask uint64) {
+		dst.Defects = append(dst.Defects, defects...)
+		dst.Off = append(dst.Off, int32(len(dst.Defects)))
+		dst.ObsMask = append(dst.ObsMask, obsMask)
+	})
+}

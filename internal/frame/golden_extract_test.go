@@ -1,0 +1,163 @@
+package frame_test
+
+// Golden tests pinning the batch-extraction output — the ordered
+// per-shot sparse syndrome stream (Off, Defects, ObsMask) — for fixed
+// (circuit, seed, schedule) on the workloads the repo actually runs: the
+// d=5/d=7 memory presets and the merge circuit of the bundled
+// factory8.trace's first synchronization. A refactor of the sampling or
+// extraction layers that reorders shots, reorders defects within a shot,
+// or perturbs a single mask changes the digest and fails here, even if
+// every aggregate tally happens to survive.
+//
+// The digests are FNV-1a over the exact SparseBatch contents of each
+// batch in schedule order. If a deliberate stream change lands (one that
+// the differential harness agrees is bit-identical semantics, e.g. a new
+// canonical schedule), re-pin by running the test and copying the
+// reported digests.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"latticesim/internal/circuit"
+	"latticesim/internal/core"
+	"latticesim/internal/frame"
+	"latticesim/internal/hardware"
+	"latticesim/internal/stats"
+	"latticesim/internal/surface"
+	"latticesim/internal/sweep"
+	"latticesim/internal/trace"
+)
+
+// extractionDigest samples the schedule through the compiled plan from
+// the seed and folds every batch's grouped sparse syndromes into one
+// FNV-1a digest, returning it with the total defect count.
+func extractionDigest(c *circuit.Circuit, seed uint64, sched []int) (uint64, int) {
+	s := frame.Compile(c).NewSampler()
+	ext := frame.NewExtractor()
+	var sp frame.SparseBatch
+	rng := stats.NewRand(seed)
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	total := 0
+	for _, n := range sched {
+		ext.Extract(s.SampleBatch(rng, n), &sp)
+		for _, off := range sp.Off {
+			w64(uint64(off))
+		}
+		for _, d := range sp.Defects {
+			w64(uint64(d))
+		}
+		for _, m := range sp.ObsMask {
+			w64(m)
+		}
+		total += len(sp.Defects)
+	}
+	return h.Sum64(), total
+}
+
+// factory8Circuit builds the merge circuit of the factory8 trace's first
+// MERGE op: patch phases are staggered at the trace simulator's default
+// 135ns, the pairing comes from core.SynchronizeK under Passive, and
+// sweep.SpecForPair maps the first pair onto a runnable merge spec —
+// the same route trace.Simulate takes to the Monte Carlo layer.
+func factory8Circuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	f, err := os.Open("../../traces/factory8.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prog, err := trace.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merge *trace.Op
+	for i := range prog.Ops {
+		if prog.Ops[i].Kind == trace.OpMerge {
+			merge = &prog.Ops[i]
+			break
+		}
+	}
+	if merge == nil {
+		t.Fatal("factory8.trace has no MERGE op")
+	}
+	hw := hardware.IBM()
+	cycle := func(pi int) float64 {
+		// Declared cycles below the hardware base are raised to it, the
+		// trace simulator's resolution rule.
+		if c := prog.Patches[pi].CycleNs; c > hw.CycleNs() {
+			return c
+		}
+		return hw.CycleNs()
+	}
+	states := make([]core.PatchState, 0, len(merge.Patches))
+	for i, pi := range merge.Patches {
+		cyc := int64(cycle(pi))
+		states = append(states, core.PatchState{ID: pi, CycleNs: cyc, ElapsedNs: (int64(i) * 135) % cyc})
+	}
+	pp := core.SynchronizeK(states, core.Passive, 400, 5)[0]
+	spec := sweep.SpecForPair(3, surface.BasisX, hw, 1e-3, pp,
+		cycle(pp.Early), cycle(pp.Late), 0, 0)
+	res, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Circuit
+}
+
+func TestGoldenExtractionStreams(t *testing.T) {
+	sched := []int{64, 64, 33}
+	cases := []struct {
+		name    string
+		circ    func(t *testing.T) *circuit.Circuit
+		digest  uint64
+		defects int
+	}{
+		{
+			name: "memory-d5",
+			circ: func(t *testing.T) *circuit.Circuit {
+				res, err := surface.MemorySpec{D: 5, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-3}.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Circuit
+			},
+			digest:  0x79a75b083dec0163,
+			defects: 643,
+		},
+		{
+			name: "memory-d7",
+			circ: func(t *testing.T) *circuit.Circuit {
+				res, err := surface.MemorySpec{D: 7, Basis: surface.BasisZ, HW: hardware.IBM(), P: 1e-3}.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Circuit
+			},
+			digest:  0x7db085e59d3c851b,
+			defects: 1690,
+		},
+		{
+			name:    "factory8-first-merge",
+			circ:    factory8Circuit,
+			digest:  0xef1250291f1edb73,
+			defects: 596,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			digest, defects := extractionDigest(tc.circ(t), 1234, sched)
+			if digest != tc.digest || defects != tc.defects {
+				t.Fatalf("extraction stream moved: digest %#016x defects %d, pinned digest %#016x defects %d",
+					digest, defects, tc.digest, tc.defects)
+			}
+		})
+	}
+}

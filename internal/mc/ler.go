@@ -117,11 +117,43 @@ type Pipeline struct {
 	// progress events (DESIGN.md §11).
 	Progress func(doneShots, totalShots int)
 
-	// interpret forces the uncompiled circuit.Ops sampler path. Compiled
-	// execution is bit-identical to interpretation, so this exists only
-	// for the equivalence tests that prove it.
-	interpret bool
+	// Path selects the execution path. The zero value (PathAuto) is the
+	// fastest one; every path returns bit-identical results (the
+	// differential harness in internal/testutil/diffharness enforces
+	// this), so the others exist for equivalence testing and debugging.
+	Path Path
+
+	// pre holds the shared predecoder tables for PathAuto's decode stage.
+	// NewPipeline fills it; hand-built pipelines leave it nil and run
+	// PathAuto without the predecoder stage.
+	pre *decoder.Predecoder
 }
+
+// Path names a Monte Carlo execution path. All paths produce
+// bit-identical results for the same (circuit, shots, seed); they differ
+// only in speed.
+type Path int
+
+const (
+	// PathAuto (the default) runs the full hot path: wide-word sampling
+	// through the compiled plan, batched sparse extraction, and the
+	// predecoder stage in front of union-find (for the entry points that
+	// decode with union-find).
+	PathAuto Path = iota
+	// PathInterpreted forces the uncompiled circuit.Ops sampler and
+	// per-shot decoding: the reference path everything else must match.
+	PathInterpreted
+	// PathCompiled runs the narrow compiled sampler with per-shot
+	// decoding (the PR-3 hot path).
+	PathCompiled
+	// PathWide runs wide-word sampling and batched decoding without the
+	// predecoder stage.
+	PathWide
+)
+
+// usesWide reports whether the path samples through the wide-word group
+// loop.
+func (pt Path) usesWide() bool { return pt == PathAuto || pt == PathWide }
 
 // NewPipeline builds the full decode pipeline for a circuit, including
 // the compiled sampler plan shared by all workers.
@@ -131,29 +163,53 @@ func NewPipeline(c *circuit.Circuit) (*Pipeline, error) {
 	if err := g.CheckMatchable(); err != nil {
 		return nil, fmt.Errorf("mc: decoder graph: %w", err)
 	}
-	return &Pipeline{Circuit: c, Model: m, Graph: g, Plan: frame.Compile(c)}, nil
+	return &Pipeline{
+		Circuit: c,
+		Model:   m,
+		Graph:   g,
+		Plan:    frame.Compile(c),
+		pre:     decoder.NewPredecoder(g),
+	}, nil
 }
 
-// samplerFactory returns a constructor for per-worker samplers. The
-// compiled plan is resolved once per run — from p.Plan when present,
-// otherwise compiled on the spot — and shared read-only by every worker.
+// resolvePlan returns the compiled plan for the circuit, compiling one on
+// the spot for hand-built pipelines that left Plan nil. The plan is
+// immutable and shared read-only by every worker.
+func (p *Pipeline) resolvePlan() *frame.Plan {
+	if p.Plan != nil {
+		return p.Plan
+	}
+	return frame.Compile(p.Circuit)
+}
+
+// samplerFactory returns a constructor for per-worker narrow samplers
+// (the interpreted or compiled per-word path, per p.Path).
 func (p *Pipeline) samplerFactory() func() *frame.Sampler {
-	if p.interpret {
+	if p.Path == PathInterpreted {
 		return func() *frame.Sampler { return frame.NewSampler(p.Circuit) }
 	}
-	plan := p.Plan
-	if plan == nil {
-		plan = frame.Compile(p.Circuit)
-	}
+	plan := p.resolvePlan()
 	return func() *frame.Sampler { return plan.NewSampler() }
 }
 
 // lerState is the per-worker state of a decode run: a private sampler,
 // extractor and decoder, since none of them is safe for concurrent use.
+// Exactly one of sampler/wide is set, per the pipeline's Path.
 type lerState struct {
 	sampler *frame.Sampler
+	wide    *wideState
 	ext     *frame.Extractor
 	dec     decoder.Decoder
+}
+
+// wideState is the per-worker scratch of the wide-word path: the group
+// sampler plus reusable buffers for the grouped sparse syndromes and the
+// batch predictions. A pointer member of lerState so buffer growth in one
+// shard carries over to the worker's next shard.
+type wideState struct {
+	s     *frame.WideSampler
+	sp    frame.SparseBatch
+	preds []uint64
 }
 
 // runLER shards the shot budget and decodes it on the worker pool, with
@@ -165,15 +221,29 @@ func (p *Pipeline) runLER(shots int, seed uint64, workers int, newDec func() dec
 // runLERShards decodes an explicit shard slice; progress reports shots
 // completed within the slice against the given total.
 func (p *Pipeline) runLERShards(plan []shard, total int, seed uint64, workers int, newDec func() decoder.Decoder) LERResult {
-	newSampler := p.samplerFactory()
+	var newState func() lerState
+	if p.Path.usesWide() {
+		cplan := p.resolvePlan()
+		newState = func() lerState {
+			return lerState{wide: &wideState{s: cplan.NewWideSampler()}, ext: frame.NewExtractor(), dec: newDec()}
+		}
+	} else {
+		newSampler := p.samplerFactory()
+		newState = func() lerState {
+			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
+		}
+	}
 	var doneShots atomic.Int64
 	progress := p.Progress
 	parts := runShards(plan, workers,
-		func() lerState {
-			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
-		},
+		newState,
 		func(st lerState, sh shard) LERResult {
-			res := p.runShardLER(st, sh, seed)
+			var res LERResult
+			if st.wide != nil {
+				res = p.runShardLERWide(st, sh, seed)
+			} else {
+				res = p.runShardLER(st, sh, seed)
+			}
 			if progress != nil {
 				progress(int(doneShots.Add(int64(sh.shots))), total)
 			}
@@ -233,12 +303,91 @@ func (p *Pipeline) runShardLER(st lerState, sh shard, seed uint64) LERResult {
 	return res
 }
 
+// runShardLERWide is runShardLER on the wide-word path: batches are
+// sampled in groups of up to frame.WideWords through one cache-blocked
+// pass over the plan, and non-clean batches cross into the decoder layer
+// whole, as grouped sparse syndromes (decoder.SyndromeBatch). The batch
+// schedule, RNG consumption, decode-call sequence and tallies are exactly
+// the narrow loop's, so the result is bit-identical for every decoder.
+func (p *Pipeline) runShardLERWide(st lerState, sh shard, seed uint64) LERResult {
+	rng := stats.NewRand(shardSeed(seed, sh.index))
+	res := LERResult{Errors: make([]int, p.Circuit.NumObservables())}
+	trivialEmpty := decoder.EmptySyndromeFree(st.dec)
+	bd, batched := st.dec.(decoder.BatchDecoder)
+	ws := st.wide
+	var counts [frame.WideWords]int
+	for done := 0; done < sh.shots; {
+		// Fill a group with the canonical 64, …, 64, remainder schedule.
+		ng := 0
+		for ng < frame.WideWords && done < sh.shots {
+			n := sh.shots - done
+			if n > 64 {
+				n = 64
+			}
+			counts[ng] = n
+			ng++
+			done += n
+		}
+		for _, b := range ws.s.SampleGroup(rng, counts[:ng]) {
+			res.Shots += b.Shots
+			if trivialEmpty && !b.AnyDetectorFired() {
+				mask := b.Mask()
+				for o, w := range b.Obs {
+					res.Errors[o] += bits.OnesCount64(w & mask)
+				}
+				continue
+			}
+			st.ext.Extract(b, &ws.sp)
+			sb := decoder.SyndromeBatch{Defects: ws.sp.Defects, Off: ws.sp.Off}
+			if cap(ws.preds) < b.Shots {
+				ws.preds = make([]uint64, 64)
+			}
+			preds := ws.preds[:b.Shots]
+			if batched {
+				bd.DecodeBatch(&sb, preds)
+			} else {
+				for i := range preds {
+					defects := sb.Shot(i)
+					if len(defects) == 0 && trivialEmpty {
+						preds[i] = 0
+						continue
+					}
+					preds[i] = st.dec.Decode(defects)
+				}
+			}
+			for i := range preds {
+				res.DetectorFires += int(sb.Off[i+1] - sb.Off[i])
+				miss := preds[i] ^ ws.sp.ObsMask[i]
+				for miss != 0 {
+					o := bits.TrailingZeros64(miss)
+					res.Errors[o]++
+					miss &^= 1 << uint(o)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ufFactory returns the per-worker decoder constructor for the
+// union-find entry points (Run, RunFrom): on PathAuto with predecoder
+// tables available, each worker's union-find is fronted by the
+// predecoder stage; every other path gets the bare union-find.
+func (p *Pipeline) ufFactory() func() decoder.Decoder {
+	if p.Path == PathAuto && p.pre != nil {
+		pre := p.pre
+		g := p.Graph
+		return func() decoder.Decoder {
+			return pre.NewDecoder(decoder.NewUnionFind(g))
+		}
+	}
+	return func() decoder.Decoder { return decoder.NewUnionFind(p.Graph) }
+}
+
 // Run samples and decodes the requested number of shots with a fresh
 // union-find decoder per worker.
 func (p *Pipeline) Run(shots int, seed uint64) LERResult {
-	return p.runLER(shots, seed, p.Workers, func() decoder.Decoder {
-		return decoder.NewUnionFind(p.Graph)
-	})
+	return p.runLER(shots, seed, p.Workers, p.ufFactory())
 }
 
 // RunFrom samples and decodes the shot range [from, to) of a to-sized
@@ -250,9 +399,7 @@ func (p *Pipeline) Run(shots int, seed uint64) LERResult {
 // incrementally granted budgets (DESIGN.md §12). Progress, when set,
 // observes shots completed within this range against its to-from total.
 func (p *Pipeline) RunFrom(from, to int, seed uint64) LERResult {
-	return p.runLERShards(shardPlanRange(from, to), to-from, seed, p.Workers, func() decoder.Decoder {
-		return decoder.NewUnionFind(p.Graph)
-	})
+	return p.runLERShards(shardPlanRange(from, to), to-from, seed, p.Workers, p.ufFactory())
 }
 
 // RunWithDecoder samples shots and decodes them with the supplied decoder
