@@ -16,7 +16,7 @@ COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_JSON ?= BENCH_pr7.json
 
-.PHONY: build test race cover fuzz serve bench bench-json bench-compare diff diff-long
+.PHONY: build test race cover fuzz serve bench bench-json bench-compare diff diff-long chaos chaos-long
 
 build:
 	$(GO) build ./...
@@ -86,3 +86,21 @@ diff:
 
 diff-long:
 	$(GO) test -race -count 1 -timeout 30m ./internal/testutil/diffharness
+
+# chaos runs the service-layer fault-injection suite (DESIGN.md §14)
+# under the race detector: CHAOS_SCHEDULES seed-derived fault plans
+# (crashed/wedged workers, torn store writes, dropped connections,
+# random cancels), each asserting that every job terminates, completed
+# results stay byte-identical to a fault-free run, and the queue leaks
+# no slots. A failing schedule writes its replayable fault plan to
+# CHAOS_ARTIFACT_DIR. chaos-long is the full "hundreds of schedules"
+# sweep; CI runs the short form on every push.
+CHAOS_SCHEDULES ?= 60
+CHAOS_ARTIFACT_DIR ?= chaos-artifacts
+chaos:
+	CHAOS_SCHEDULES=$(CHAOS_SCHEDULES) CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -count 1 -run 'TestChaos' ./internal/service
+
+chaos-long:
+	CHAOS_SCHEDULES=300 CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -count 1 -timeout 60m -run 'TestChaos' ./internal/service

@@ -26,12 +26,13 @@ accepted over a small HTTP/JSON API, executed by a bounded worker pool
 that shares one build cache, and their results stored content-addressed
 so identical re-submissions are served bit-identically from cache.
 
-API (see DESIGN.md §11):
-  POST /v1/jobs           submit a job spec
-  GET  /v1/jobs/{id}      job status (?watch=1 streams NDJSON progress)
-  GET  /v1/results/{key}  stored result JSON
-  GET  /v1/stats          queue/store/build-cache counters
-  GET  /healthz           liveness probe
+API (see DESIGN.md §11; failure model and recovery §14):
+  POST   /v1/jobs           submit a job spec
+  GET    /v1/jobs/{id}      job status (?watch=1 streams NDJSON progress)
+  DELETE /v1/jobs/{id}      cancel a queued or running job
+  GET    /v1/results/{key}  stored result JSON
+  GET    /v1/stats          queue/store/build-cache/recovery counters
+  GET    /healthz           liveness probe
 
 Submit jobs with `+"`latticesim submit`"+` or any HTTP client.
 
@@ -45,6 +46,10 @@ Flags:`)
 		queue   = fs.Int("queue", 64, "bounded queue depth; submissions beyond it get 503")
 		mcw     = fs.Int("mc-workers", 0, "Monte Carlo worker-pool size per running job (0 = GOMAXPROCS; results are independent of it)")
 		quiet   = fs.Bool("quiet", false, "suppress startup and shutdown log lines")
+
+		maxAttempts = fs.Int("max-attempts", 0, "execution attempts per job before it fails terminally; panics, errors and missed leases each consume one (0 = 3)")
+		lease       = fs.Duration("lease", 0, "heartbeat lease per running attempt; an attempt that misses it is declared dead and the job requeued (0 = 30s)")
+		jobTimeout  = fs.Duration("job-timeout", 0, "default wall-time bound per attempt, overridable per job via timeout_ms (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +57,7 @@ Flags:`)
 
 	svc, err := service.New(service.Options{
 		DataDir: *data, Workers: *workers, QueueDepth: *queue, MCWorkers: *mcw,
+		MaxAttempts: *maxAttempts, Lease: *lease, JobTimeout: *jobTimeout,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"latticesim/internal/service"
 )
@@ -15,14 +16,20 @@ import (
 // result can be piped or diffed byte-for-byte).
 func runSubmit(args []string) error {
 	usage := func(out *os.File) {
-		fmt.Fprintln(out, `usage: latticesim submit sweep  [flags]   submit one sweep point
-       latticesim submit trace  [flags]   submit a trace simulation
+		fmt.Fprintln(out, `usage: latticesim submit sweep  [flags]     submit one sweep point
+       latticesim submit trace  [flags]     submit a trace simulation
+       latticesim submit -cancel <job-id>   cancel a queued or running job
 
 Submits a job to a running `+"`latticesim serve`"+` instance, waits for it,
 and writes the result JSON to stdout. The status line on stderr reports
 the job id, the result's content address, and whether the submission was
 served from the server's result cache. Identical submissions always
-yield byte-identical result JSON. Use -help on either form for flags.`)
+yield byte-identical result JSON.
+
+-retry retries transient failures (connection errors, queue-full 503s,
+dropped watch streams) with jittered exponential backoff; submission is
+idempotent, so retrying never runs a job twice. -timeout bounds each
+execution attempt's wall time. Use -help on either form for flags.`)
 	}
 	if len(args) == 0 {
 		usage(os.Stderr)
@@ -37,28 +44,48 @@ yield byte-identical result JSON. Use -help on either form for flags.`)
 		usage(os.Stdout)
 		return nil
 	}
+	if args[0][0] == '-' {
+		// Bare flags without a job kind: the cancel form.
+		return submitCancel(args)
+	}
 	usage(os.Stderr)
 	return fmt.Errorf("unknown job kind %q (sweep or trace)", args[0])
 }
 
 // submitCommon holds the flags shared by both job kinds.
 type submitCommon struct {
-	server *string
-	wait   *bool
-	quiet  *bool
+	server  *string
+	wait    *bool
+	quiet   *bool
+	retry   *bool
+	timeout *time.Duration
 }
 
 func addCommon(fs *flag.FlagSet) submitCommon {
 	return submitCommon{
-		server: fs.String("server", "http://127.0.0.1:8642", "server base URL"),
-		wait:   fs.Bool("wait", true, "wait for the job and print its result JSON to stdout"),
-		quiet:  fs.Bool("quiet", false, "suppress the status line on stderr"),
+		server:  fs.String("server", "http://127.0.0.1:8642", "server base URL"),
+		wait:    fs.Bool("wait", true, "wait for the job and print its result JSON to stdout"),
+		quiet:   fs.Bool("quiet", false, "suppress the status line on stderr"),
+		retry:   fs.Bool("retry", false, "retry transient failures (transport errors, queue-full 503s, dropped watch streams) with jittered exponential backoff"),
+		timeout: fs.Duration("timeout", 0, "per-attempt wall-time bound for this job; exceeding it fails the job with stop reason \"timeout\" (0 = server default)"),
 	}
+}
+
+// client builds the API client, with retries when -retry is set.
+func (c submitCommon) client() *service.Client {
+	client := service.NewClient(*c.server)
+	if *c.retry {
+		client.Retry = service.DefaultRetryPolicy()
+	}
+	return client
 }
 
 // run submits the spec and handles the wait/print cycle.
 func (c submitCommon) run(spec service.JobSpec) error {
-	client := service.NewClient(*c.server)
+	client := c.client()
+	if *c.timeout > 0 {
+		spec.TimeoutMs = c.timeout.Milliseconds()
+	}
 	ctx := context.Background()
 	st, err := client.Submit(ctx, spec)
 	if err != nil {
@@ -93,6 +120,29 @@ func (c submitCommon) run(spec service.JobSpec) error {
 	os.Stdout.Write(data)
 	if len(data) > 0 && data[len(data)-1] != '\n' {
 		os.Stdout.WriteString("\n")
+	}
+	return nil
+}
+
+// submitCancel implements `latticesim submit -cancel <job-id>`:
+// cancellation is idempotent, so re-running the command (or running it
+// against an already-finished job) just reports the final state.
+func submitCancel(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	common := addCommon(fs)
+	cancelID := fs.String("cancel", "", "job id to cancel instead of submitting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cancelID == "" {
+		return fmt.Errorf("missing job kind (sweep or trace) or -cancel <job-id>")
+	}
+	st, err := common.client().Cancel(context.Background(), *cancelID)
+	if err != nil {
+		return err
+	}
+	if !*common.quiet {
+		fmt.Fprintf(os.Stderr, "canceled %s state=%s stop_reason=%s\n", st.ID, st.State, st.StopReason)
 	}
 	return nil
 }

@@ -1,0 +1,245 @@
+// Package faultinject is a deterministic, seed-driven fault injector
+// for the service layer's chaos harness (DESIGN.md §14). An Injector is
+// constructed from a Plan — a seed plus per-site fault rates — and
+// exposes plain-signature hooks that the service wires into its
+// executor (panic, stall), its store (slow reads, torn writes) and its
+// HTTP front end (connections dropped mid-response). Whether a given
+// call misbehaves is a pure function of the plan seed and the call's
+// identity (job and attempt, store key and write ordinal, request path
+// and ordinal), so a failing chaos schedule can be re-run from its
+// serialized Plan alone.
+//
+// The package deliberately knows nothing about the service package —
+// hooks use strings, byte slices and contexts — so the chaos suite can
+// live inside internal/service and still reach its internals.
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Plan is the serializable fault schedule. Rates are probabilities in
+// [0, 1] evaluated independently per injection site; 0 disables a site.
+type Plan struct {
+	// Seed drives every decision; two injectors with the same plan make
+	// identical choices for identical call identities.
+	Seed uint64 `json:"seed"`
+	// PanicRate panics an execution attempt before any work (the
+	// classic crashed-worker fault). StallRate instead blocks the
+	// attempt for StallForMs (or until its context is canceled — a
+	// stalled worker must still be reclaimable); the two are mutually
+	// exclusive per attempt, panic winning the draw.
+	PanicRate float64 `json:"panic_rate,omitempty"`
+	StallRate float64 `json:"stall_rate,omitempty"`
+	// StallForMs is how long a stalled attempt blocks (0 = 1000ms).
+	// Set it well past the server's lease to force watchdog recovery.
+	StallForMs int64 `json:"stall_for_ms,omitempty"`
+	// TornWriteRate truncates a store object's bytes as written (the
+	// checksum sidecar stays true, so verify-on-read catches it).
+	TornWriteRate float64 `json:"torn_write_rate,omitempty"`
+	// SlowGetRate delays a store read by SlowGetForMs (0 = 5ms).
+	SlowGetRate  float64 `json:"slow_get_rate,omitempty"`
+	SlowGetForMs int64   `json:"slow_get_for_ms,omitempty"`
+	// DropRate aborts an HTTP response partway through: the connection
+	// dies after a plan-derived number of bytes, between 1 and
+	// DropAfterMax (0 = 512).
+	DropRate     float64 `json:"drop_rate,omitempty"`
+	DropAfterMax int     `json:"drop_after_max,omitempty"`
+}
+
+// Event records one injected fault, for debugging failed schedules.
+type Event struct {
+	// Site names the injection point: "exec.panic", "exec.stall",
+	// "store.torn_write", "store.slow_get", "http.drop".
+	Site string `json:"site"`
+	// ID is the call identity the decision keyed on (job#attempt, store
+	// key, request path).
+	ID string `json:"id"`
+}
+
+// Injector implements the plan. All methods are safe for concurrent
+// use.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	events []Event
+	seq    map[string]uint64 // per-identity call ordinals
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, seq: make(map[string]uint64)}
+}
+
+// Plan returns the injector's plan (for artifacts and re-runs).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// PlanJSON renders the plan for a failure artifact.
+func (in *Injector) PlanJSON() []byte {
+	b, _ := json.MarshalIndent(in.plan, "", "  ")
+	return b
+}
+
+// Events returns a copy of the injected-fault log.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// record appends to the fault log.
+func (in *Injector) record(site, id string) {
+	in.mu.Lock()
+	in.events = append(in.events, Event{Site: site, ID: id})
+	in.mu.Unlock()
+}
+
+// next returns the per-identity call ordinal (0 for the first call).
+func (in *Injector) next(id string) uint64 {
+	in.mu.Lock()
+	n := in.seq[id]
+	in.seq[id] = n + 1
+	in.mu.Unlock()
+	return n
+}
+
+// splitmix64 is the standard SplitMix64 finalizer, the same mixing
+// primitive the simulator's RNG streams derive from.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes an identity string.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// draw returns a uniform [0,1) value that is a pure function of the
+// plan seed, the site, and the call identity.
+func (in *Injector) draw(site, id string) float64 {
+	h := splitmix64(in.plan.Seed ^ splitmix64(fnv1a(site)) ^ fnv1a(id))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// BeforeExec is wired into the service's executor hook: depending on
+// the plan it panics (a crashed worker) or stalls past the lease (a
+// wedged worker), keyed on job ID and attempt so retries of the same
+// job draw fresh outcomes.
+func (in *Injector) BeforeExec(ctx context.Context, jobID string, attempt int) {
+	id := fmt.Sprintf("%s#%d", jobID, attempt)
+	u := in.draw("exec", id)
+	switch {
+	case u < in.plan.PanicRate:
+		in.record("exec.panic", id)
+		panic("faultinject: injected worker panic (" + id + ")")
+	case u < in.plan.PanicRate+in.plan.StallRate:
+		in.record("exec.stall", id)
+		d := time.Duration(in.plan.StallForMs) * time.Millisecond
+		if d <= 0 {
+			d = time.Second
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-t.C:
+		case <-done:
+		}
+	}
+}
+
+// StorePut is wired into the store's write filter: a torn write
+// truncates the object bytes (never below one byte, so the damage is a
+// checksum mismatch rather than a missing file).
+func (in *Injector) StorePut(key string, data []byte) []byte {
+	id := fmt.Sprintf("%s@%d", key, in.next("put:"+key))
+	if in.draw("store.put", id) < in.plan.TornWriteRate && len(data) > 1 {
+		in.record("store.torn_write", id)
+		return data[:1+len(data)/2]
+	}
+	return data
+}
+
+// StoreGet is wired into the store's read hook: a slow disk.
+func (in *Injector) StoreGet(key string) {
+	id := fmt.Sprintf("%s@%d", key, in.next("get:"+key))
+	if in.draw("store.get", id) < in.plan.SlowGetRate {
+		in.record("store.slow_get", id)
+		d := time.Duration(in.plan.SlowGetForMs) * time.Millisecond
+		if d <= 0 {
+			d = 5 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// Middleware wraps an HTTP handler with connection-drop injection: a
+// doomed response is cut off after a plan-derived byte count by
+// panicking with http.ErrAbortHandler, which makes net/http sever the
+// connection without logging a spurious stack trace — exactly what a
+// mid-response network partition looks like to the client.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pathID := r.Method + " " + r.URL.Path
+		id := fmt.Sprintf("%s@%d", pathID, in.next("http:"+pathID))
+		if in.draw("http", id) >= in.plan.DropRate {
+			next.ServeHTTP(w, r)
+			return
+		}
+		maxBytes := in.plan.DropAfterMax
+		if maxBytes <= 0 {
+			maxBytes = 512
+		}
+		after := 1 + int(splitmix64(in.plan.Seed^fnv1a(id))%uint64(maxBytes))
+		in.record("http.drop", id)
+		next.ServeHTTP(&droppingWriter{ResponseWriter: w, remaining: after}, r)
+	})
+}
+
+// droppingWriter forwards writes until its budget is spent, then aborts
+// the connection.
+type droppingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (d *droppingWriter) Write(p []byte) (int, error) {
+	if len(p) >= d.remaining {
+		if d.remaining > 0 {
+			d.ResponseWriter.Write(p[:d.remaining])
+			if f, ok := d.ResponseWriter.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
+	d.remaining -= len(p)
+	return d.ResponseWriter.Write(p)
+}
+
+// Flush keeps streaming handlers (the NDJSON watch feed) working under
+// injection.
+func (d *droppingWriter) Flush() {
+	if f, ok := d.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -19,6 +19,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync/atomic"
@@ -116,6 +117,17 @@ type Pipeline struct {
 	// cheap and race-free. The service layer uses it to stream shot-level
 	// progress events (DESIGN.md §11).
 	Progress func(doneShots, totalShots int)
+
+	// Ctx, when non-nil, cancels execution at shard boundaries: once it
+	// is done, no new shard starts, and the Run* entry points return
+	// promptly with a partial tally that the caller must discard (check
+	// Ctx.Err() after the call). Shards already in flight run to
+	// completion, so a run that finishes without observing cancellation
+	// is bit-identical to an uncancellable one — cancellation can lose a
+	// result, never change it. The simulation service threads job
+	// contexts through here so canceled and timed-out jobs release their
+	// workers promptly (DESIGN.md §14).
+	Ctx context.Context
 
 	// Path selects the execution path. The zero value (PathAuto) is the
 	// fastest one; every path returns bit-identical results (the
@@ -235,7 +247,7 @@ func (p *Pipeline) runLERShards(plan []shard, total int, seed uint64, workers in
 	}
 	var doneShots atomic.Int64
 	progress := p.Progress
-	parts := runShards(plan, workers,
+	parts := runShards(p.Ctx, plan, workers,
 		newState,
 		func(st lerState, sh shard) LERResult {
 			var res LERResult
@@ -429,7 +441,7 @@ func (p *Pipeline) RoundWeights(shots int, seed uint64) map[int]float64 {
 		roundOf[i] = d.Round()
 	}
 	newSampler := p.samplerFactory()
-	parts := runShards(shardPlan(shots), p.Workers,
+	parts := runShards(p.Ctx, shardPlan(shots), p.Workers,
 		newSampler,
 		func(s *frame.Sampler, sh shard) []int {
 			counts, _ := s.CountDetectorFires(stats.NewRand(shardSeed(seed, sh.index)), sh.shots)
@@ -459,7 +471,7 @@ type WeightBin struct {
 func (p *Pipeline) RunProfile(shots int, seed uint64, obs int) map[int]*WeightBin {
 	obsBit := uint64(1) << uint(obs)
 	newSampler := p.samplerFactory()
-	parts := runShards(shardPlan(shots), p.Workers,
+	parts := runShards(p.Ctx, shardPlan(shots), p.Workers,
 		func() lerState {
 			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: decoder.NewUnionFind(p.Graph)}
 		},

@@ -12,6 +12,7 @@ package mc
 // any worker count, including 1.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -113,14 +114,37 @@ func resolveWorkers(workers, shards int) int {
 // makes the whole computation independent of scheduling. With one
 // worker the pool is bypassed and shards run inline on the calling
 // goroutine.
-func runShards[S, R any](shards []shard, workers int, newState func() S, runOne func(S, shard) R) []R {
+//
+// ctx may be nil (never canceled). Cancellation is observed only at
+// shard boundaries: shards already running finish normally, shards not
+// yet started are skipped and left as zero values in the result slice.
+// A canceled run's tally is therefore partial and must be discarded by
+// the caller (check ctx.Err()); a run that completes without observing
+// cancellation is bit-identical to an uncancellable one, so the
+// determinism contract is untouched.
+func runShards[S, R any](ctx context.Context, shards []shard, workers int, newState func() S, runOne func(S, shard) R) []R {
 	results := make([]R, len(shards))
 	if len(shards) == 0 {
 		return results
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers = resolveWorkers(workers, len(shards)); workers == 1 {
 		st := newState()
 		for i, sh := range shards {
+			if canceled() {
+				break
+			}
 			results[i] = runOne(st, sh)
 		}
 		return results
@@ -133,12 +157,20 @@ func runShards[S, R any](shards []shard, workers int, newState func() S, runOne 
 			defer wg.Done()
 			st := newState()
 			for i := range idx {
+				if canceled() {
+					continue // drain without running
+				}
 				results[i] = runOne(st, shards[i])
 			}
 		}()
 	}
+feed:
 	for i := range shards {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -149,7 +149,7 @@ func TestParallelRaceSmoke(t *testing.T) {
 func TestRunShardsOrderIndependence(t *testing.T) {
 	shards := shardPlan(16 * shardShots)
 	for _, workers := range []int{1, 3, 16} {
-		got := runShards(shards, workers,
+		got := runShards(nil, shards, workers,
 			func() int { return 0 },
 			func(_ int, sh shard) int { return sh.index })
 		for i, v := range got {

@@ -24,6 +24,7 @@ package mc
 // reproducibility contract the adaptive allocator relies on.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -202,8 +203,13 @@ type isState struct {
 // sums and loses bit-identity. Folded that way, the result is identical
 // for every worker count and every shard-aligned increment schedule
 // covering the same range.
-func (s *ImportanceSampler) RunShards(from, to int, seed uint64, workers int) []WeightedTally {
-	return runShards(shardPlanRange(from, to), workers,
+//
+// ctx may be nil. Like Pipeline runs, cancellation is observed at shard
+// boundaries only: skipped shards come back as zero-valued tallies, so
+// a canceled run's fold is partial and must be discarded (check
+// ctx.Err()).
+func (s *ImportanceSampler) RunShards(ctx context.Context, from, to int, seed uint64, workers int) []WeightedTally {
+	return runShards(ctx, shardPlanRange(from, to), workers,
 		func() *isState {
 			return &isState{
 				dec:  decoder.NewUnionFind(s.graph),

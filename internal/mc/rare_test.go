@@ -61,7 +61,7 @@ func TestImportanceSamplerDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := FoldTallies(s.RunShards(0, shots, seed, 1))
+	want := FoldTallies(s.RunShards(nil, 0, shots, seed, 1))
 
 	splits := [][]int{
 		{0, shots},
@@ -72,7 +72,7 @@ func TestImportanceSamplerDeterminism(t *testing.T) {
 		for _, cuts := range splits {
 			var got WeightedTally
 			for i := 0; i+1 < len(cuts); i++ {
-				for _, part := range s.RunShards(cuts[i], cuts[i+1], seed, workers) {
+				for _, part := range s.RunShards(nil, cuts[i], cuts[i+1], seed, workers) {
 					got.Fold(part)
 				}
 			}
@@ -96,7 +96,7 @@ func TestImportanceBoostOneIsExact(t *testing.T) {
 	if s.MaxWeight() != 1 {
 		t.Fatalf("boost=1 max weight = %v, want exactly 1", s.MaxWeight())
 	}
-	tally := FoldTallies(s.RunShards(0, shots, seed, 4))
+	tally := FoldTallies(s.RunShards(nil, 0, shots, seed, 4))
 	if tally.Shots != shots {
 		t.Fatalf("shots = %d, want %d", tally.Shots, shots)
 	}
@@ -125,7 +125,7 @@ func TestImportanceSamplerUnbiased(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tally := FoldTallies(s.RunShards(0, 100000, seed+1, 4))
+	tally := FoldTallies(s.RunShards(nil, 0, 100000, seed+1, 4))
 	est := tally.Estimator(surface.ObsJoint)
 	isCI := est.CI(4)
 	if est.Hits == 0 {

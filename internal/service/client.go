@@ -5,12 +5,66 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// RetryPolicy configures client-side resilience: transient failures
+// (transport errors, 503 responses from a full queue) are retried with
+// exponential backoff and full jitter, honoring the server's
+// Retry-After header when present. Every retried request is idempotent
+// at the service level — submissions are content-addressed (a re-Submit
+// of the same spec coalesces or cache-hits, never runs twice), and the
+// GETs/DELETEs are idempotent by construction — so retrying is always
+// safe.
+type RetryPolicy struct {
+	// MaxRetries bounds retries after the initial try (and, for Watch,
+	// stream reconnects between observed snapshots).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (0 = 100ms); the delay
+	// before retry n is drawn uniformly from (0, min(BaseDelay·2ⁿ,
+	// MaxDelay)] — full jitter, so a thundering herd of clients spreads
+	// out.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 5s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy `latticesim submit -retry` uses:
+// 5 retries, 100ms base, 5s cap.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxRetries: 5}
+}
+
+// delay computes the backoff before the n-th retry (1-based), preferring
+// the server's Retry-After hint when it is longer than the jittered
+// exponential.
+func (p *RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << uint(n-1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	d = time.Duration(rand.Int64N(int64(d))) + time.Millisecond
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
 
 // Client is the Go client of the simulation service HTTP API, used by
 // `latticesim submit`, the examples and the end-to-end tests. The zero
@@ -22,6 +76,9 @@ type Client struct {
 	// holds one request open for the job's whole runtime, so clients
 	// with aggressive timeouts should scope them per call via ctx.
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries transient failures (see RetryPolicy).
+	// nil disables retries: every failure is returned immediately.
+	Retry *RetryPolicy
 }
 
 // NewClient returns a client for the server at base.
@@ -36,56 +93,127 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiErr converts a non-2xx response into an error, preferring the
-// server's JSON error envelope.
+// apiErr converts a non-2xx response into an error carrying the request
+// URL, preferring the server's JSON error envelope.
 func apiErr(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	u := ""
+	if resp.Request != nil && resp.Request.URL != nil {
+		u = " (" + resp.Request.Method + " " + resp.Request.URL.String() + ")"
+	}
 	var e apiError
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+		return fmt.Errorf("service: %s%s: %s", resp.Status, u, e.Error)
 	}
-	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+	return fmt.Errorf("service: %s%s: %s", resp.Status, u, bytes.TrimSpace(body))
 }
 
+// retryAfter parses a response's Retry-After seconds (0 when absent).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doRetry runs build→Do→handle with the client's retry policy. build
+// must return a fresh request each call (bodies are consumed); handle
+// sees only 200 responses. Transport errors, 503s, and handle errors
+// (a torn body — the connection died mid-response) are retried;
+// anything else is final. Retrying handle is safe because every
+// request through here is idempotent.
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error), handle func(*http.Response) error) error {
+	for n := 0; ; n++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		var after time.Duration
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				herr := handle(resp)
+				resp.Body.Close()
+				if herr == nil {
+					return nil
+				}
+				err = fmt.Errorf("service: %s %s: %w", req.Method, req.URL, herr)
+			} else {
+				after = retryAfter(resp)
+				aerr := apiErr(resp)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					return aerr
+				}
+				err = aerr
+			}
+		}
+		if c.Retry == nil || n >= c.Retry.MaxRetries {
+			return err
+		}
+		if serr := sleepCtx(ctx, c.Retry.delay(n+1, after)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// decodeJSON reads a response body fully before unmarshaling, so a
+// connection that dies mid-body fails with a transport error instead of
+// leaving out half-populated.
+func decodeJSON(resp *http.Response, out any) error {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// getJSON fetches path into out, with retries when configured.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiErr(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	}, func(resp *http.Response) error {
+		return decodeJSON(resp, out)
+	})
 }
 
 // Submit posts a job spec and returns its initial status — possibly
 // already done when the server answered from its result store (check
-// CacheHit / State).
+// CacheHit / State). Submission is idempotent (results are
+// content-addressed and in-flight duplicates coalesce), so a configured
+// retry policy re-submits safely after transport errors and
+// queue-full 503s, honoring the server's Retry-After.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return JobStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, apiErr(resp)
-	}
 	var st JobStatus
-	err = json.NewDecoder(resp.Body).Decode(&st)
+	err = c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, func(resp *http.Response) error {
+		return decodeJSON(resp, &st)
+	})
 	return st, err
 }
 
@@ -96,63 +224,123 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
+// Cancel asks the server to stop a queued or running job and returns
+// the resulting status. Canceling an already-terminal job returns its
+// final status unchanged, so Cancel (like the DELETE it issues) is
+// idempotent and safe to retry.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete,
+			c.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
+	}, func(resp *http.Response) error {
+		return decodeJSON(resp, &st)
+	})
+	return st, err
+}
+
 // Watch follows a job's NDJSON status stream, invoking fn (which may be
-// nil) on every snapshot, and returns the terminal status.
+// nil) on every snapshot, and returns the terminal status. With a retry
+// policy configured, a dropped stream (connection reset, proxy timeout)
+// is transparently reconnected and the watch resumes from the job's
+// current state; each observed snapshot resets the reconnect budget, so
+// a job only fails the watch after MaxRetries consecutive dead
+// connections. Server-reported errors (an unknown or evicted job) are
+// final.
 func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	var last JobStatus
+	seen := false
+	failures := 0
+	for {
+		progressed, err := c.watchOnce(ctx, id, func(st JobStatus) {
+			last, seen = st, true
+			failures = 0
+			if fn != nil {
+				fn(st)
+			}
+		})
+		if err == nil && seen && last.Terminal() {
+			return last, nil
+		}
+		var permanent *permanentError
+		if errors.As(err, &permanent) {
+			return last, permanent.err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return last, cerr
+		}
+		if err == nil {
+			err = fmt.Errorf("service: watch stream for %s ended before a terminal state", id)
+		}
+		if c.Retry == nil || failures >= c.Retry.MaxRetries {
+			return last, err
+		}
+		failures++
+		if !progressed {
+			if serr := sleepCtx(ctx, c.Retry.delay(failures, 0)); serr != nil {
+				return last, serr
+			}
+		}
+	}
+}
+
+// permanentError marks a Watch failure that reconnecting cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// watchOnce opens one watch stream and feeds every decoded snapshot to
+// observe. It reports whether any snapshot arrived on this connection
+// and the error that ended the stream (nil on clean EOF — the caller
+// decides whether the last snapshot was terminal).
+func (c *Client) watchOnce(ctx context.Context, id string, observe func(JobStatus)) (progressed bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"?watch=1", nil)
 	if err != nil {
-		return JobStatus{}, err
+		return false, &permanentError{err}
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return JobStatus{}, err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, apiErr(resp)
+		return false, &permanentError{apiErr(resp)}
 	}
-	var last JobStatus
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
-			return last, fmt.Errorf("service: watch stream: %w", err)
+		var st JobStatus
+		if err := json.Unmarshal(line, &st); err != nil {
+			// A torn line from a dropped connection, not a protocol error:
+			// reconnecting gets a fresh, complete snapshot.
+			return progressed, fmt.Errorf("service: watch stream: %w", err)
 		}
-		if fn != nil {
-			fn(last)
-		}
+		progressed = true
+		observe(st)
 	}
-	if err := sc.Err(); err != nil {
-		return last, err
-	}
-	if !last.Terminal() {
-		return last, fmt.Errorf("service: watch stream for %s ended before a terminal state", id)
-	}
-	return last, nil
+	return progressed, sc.Err()
 }
 
 // Result fetches the stored result blob under a content key. The bytes
 // are served verbatim from the store, so identical jobs always read
 // identical bytes.
 func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/results/"+url.PathEscape(key), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiErr(resp)
-	}
-	return io.ReadAll(resp.Body)
+	var data []byte
+	err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			c.BaseURL+"/v1/results/"+url.PathEscape(key), nil)
+	}, func(resp *http.Response) error {
+		var rerr error
+		data, rerr = io.ReadAll(resp.Body)
+		return rerr
+	})
+	return data, err
 }
 
 // Run is the whole submit→watch→fetch round trip: it submits the spec,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -8,17 +9,28 @@ import (
 	"latticesim/internal/trace"
 )
 
-// execute runs one resolved job through the batch layer and returns the
-// canonical result bytes that go into the store. Everything here is
-// deterministic: volatile fields (wall times) are zeroed or absent, so
-// two executions of the same resolved spec produce identical bytes.
-func (s *Server) execute(j *job) ([]byte, error) {
+// execute runs one attempt of a resolved job through the batch layer
+// and returns the canonical result bytes that go into the store.
+// Everything here is deterministic: volatile fields (wall times) are
+// zeroed or absent, so two executions of the same resolved spec produce
+// identical bytes — which is what makes crash-safe retries (and the
+// integrity cross-checks on late completions) sound. ctx is the
+// attempt's context: cancellation and timeouts are observed at shard
+// boundaries (sweeps) and merge boundaries (traces), losing work but
+// never changing surviving results. Progress flows through
+// Server.touch, which fences stale attempts and doubles as the lease
+// heartbeat.
+func (s *Server) execute(ctx context.Context, j *job, att int) ([]byte, error) {
+	s.opts.Hooks.beforeExec(ctx, j.snapshot().ID, att)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := j.res
 	switch {
 	case r.spec.Type == "sweep":
-		return s.executeSweep(j)
+		return s.executeSweep(ctx, j, att)
 	case r.spec.Type == "trace":
-		return s.executeTrace(j)
+		return s.executeTrace(ctx, j, att)
 	}
 	return nil, fmt.Errorf("service: unresolvable job type %q", r.spec.Type)
 }
@@ -27,11 +39,12 @@ func (s *Server) execute(j *job) ([]byte, error) {
 // build cache, streaming shot-level progress into the job status, and
 // canonicalizes the record (wall_ms zeroed — the only nondeterministic
 // field) so re-submissions serve bit-identical bytes.
-func (s *Server) executeSweep(j *job) ([]byte, error) {
+func (s *Server) executeSweep(ctx context.Context, j *job, att int) ([]byte, error) {
 	cfg := j.res.scfg
 	cfg.Workers = s.opts.MCWorkers
+	cfg.Ctx = ctx
 	cfg.ShotProgress = func(done, total int) {
-		j.update(func(st *JobStatus) {
+		s.touch(j, att, func(st *JobStatus) {
 			// Shot counts arrive concurrently from Monte Carlo workers and
 			// are cumulative but unordered; keep only forward motion so a
 			// late-arriving smaller count can't roll a finished job's
@@ -54,18 +67,22 @@ func (s *Server) executeSweep(j *job) ([]byte, error) {
 // deliberately carries no Source label: stored bytes must be a pure
 // function of the content address, and the source (a file name, a
 // workload label) is submission metadata, not physics.
-func (s *Server) executeTrace(j *job) ([]byte, error) {
+func (s *Server) executeTrace(ctx context.Context, j *job, att int) ([]byte, error) {
 	cfg := j.res.tcfg
 	cfg.Workers = s.opts.MCWorkers
 	cfg.Cache = s.opts.Cache
+	cfg.Ctx = ctx
 	prog, pols := j.res.prog, j.res.pols
 	perPolicy := prog.Merges()
 	total := perPolicy * len(pols)
 	results := make([]*trace.Result, 0, len(pols))
 	for i, pol := range pols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		offset := i * perPolicy
 		cfg.Progress = func(done, _ int) {
-			j.update(func(st *JobStatus) {
+			s.touch(j, att, func(st *JobStatus) {
 				st.Progress = Progress{Done: offset + done, Total: total, Unit: "merges"}
 			})
 		}

@@ -27,7 +27,9 @@ type Options struct {
 	// (0 = 2). Results never depend on it.
 	Workers int
 	// QueueDepth bounds the number of accepted-but-unstarted jobs
-	// (0 = 64); submissions beyond it fail with ErrQueueFull.
+	// (0 = 64); submissions beyond it fail with ErrQueueFull. Requeues of
+	// already-accepted jobs (crash recovery) are exempt — recovery never
+	// competes with fresh submissions for queue room.
 	QueueDepth int
 	// MCWorkers is the Monte Carlo worker-pool size each running job
 	// uses (0 = GOMAXPROCS). With several queue workers, a small value
@@ -40,6 +42,23 @@ type Options struct {
 	// IDs stop resolving on GET /v1/jobs/{id}. Queued and running jobs
 	// are never evicted.
 	JobHistory int
+	// MaxAttempts bounds how many times one job is executed before it is
+	// declared failed (0 = 3). Panics, execution errors and expired
+	// leases all consume an attempt; the full failure history is kept in
+	// JobStatus.Failures.
+	MaxAttempts int
+	// Lease is each running attempt's heartbeat deadline (0 = 30s). The
+	// executor renews it on every progress event (a shard for sweeps, a
+	// merge for traces); the watchdog declares any attempt that misses
+	// it dead and requeues the job. Retried executions are bit-identical
+	// to undisturbed ones — determinism makes the retry safe.
+	Lease time.Duration
+	// JobTimeout, when > 0, is the default wall-time bound per execution
+	// attempt; a job's spec TimeoutMs overrides it. Exceeding the bound
+	// fails the job with stop reason "timeout".
+	JobTimeout time.Duration
+	// Hooks are test-only fault-injection points (nil in production).
+	Hooks *Hooks
 	// Cache, when non-nil, is the shared build cache; otherwise the
 	// server creates one for its lifetime. Every job executed by the
 	// server reuses it, so repeated specs skip circuit/DEM/decoder-graph
@@ -57,6 +76,15 @@ func (o Options) withDefaults() Options {
 	if o.JobHistory == 0 {
 		o.JobHistory = 4096
 	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 1
+	}
+	if o.Lease == 0 {
+		o.Lease = 30 * time.Second
+	}
 	if o.Cache == nil {
 		o.Cache = sweep.NewBuildCache()
 	}
@@ -66,12 +94,24 @@ func (o Options) withDefaults() Options {
 // job pairs a resolved spec with its mutable status. Watchers observe
 // updates through the changed channel, which is closed and replaced on
 // every mutation (a broadcast that never blocks the updater).
+//
+// The attempt machinery lives here too: status.Attempt doubles as the
+// attempt token — every status mutation from an executor carries the
+// token it was dispatched with and is dropped when a newer attempt (or
+// a terminal transition) has superseded it, so a zombie worker whose
+// lease expired can never corrupt the retried job's state.
 type job struct {
 	res *resolvedJob
 
 	mu      sync.Mutex
 	status  JobStatus
 	changed chan struct{}
+	// cancel stops the current attempt's context (nil when no attempt is
+	// running). lease is the current attempt's heartbeat deadline,
+	// renewed on every progress event; the watchdog reaps attempts past
+	// it.
+	cancel context.CancelFunc
+	lease  time.Time
 }
 
 func newJob(id string, r *resolvedJob, state string, cacheHit bool) *job {
@@ -92,12 +132,17 @@ func (j *job) snapshot() JobStatus {
 	return j.status
 }
 
+// broadcastLocked wakes every watcher. Caller holds j.mu.
+func (j *job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
 // update mutates the status under the lock and wakes every watcher.
 func (j *job) update(fn func(*JobStatus)) {
 	j.mu.Lock()
 	fn(&j.status)
-	close(j.changed)
-	j.changed = make(chan struct{})
+	j.broadcastLocked()
 	j.mu.Unlock()
 }
 
@@ -131,42 +176,56 @@ func (j *job) watch(ctx context.Context, fn func(JobStatus) error) (JobStatus, e
 // worker pool sharing one build cache, and a content-addressed result
 // store. Create one with New, expose it over HTTP via Handler, and stop
 // it with Close. All methods are safe for concurrent use.
+//
+// Lock ordering: s.mu may be taken and then a job's j.mu, never the
+// reverse.
 type Server struct {
 	opts  Options
 	store *Store
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals pending work; waiters re-check closed
+	pending  []*job     // FIFO of queued jobs (requeues appended at the back)
 	jobs     map[string]*job
 	order    []string        // job IDs in submission order
 	inflight map[string]*job // content key → live (queued/running) job
 	nextID   int
 	closed   bool
-	hits     int // submissions served straight from the store
+	// Counters (see Stats).
+	hits            int // submissions served straight from the store
+	attempts        int // execution attempts dispatched
+	requeues        int // crash-recovery requeues (panic, error, lease)
+	cancels         int // Cancel calls that stopped a live job
+	integrityChecks int // late-completion byte-compares performed
+	integrityErrs   int // byte-compares that found a mismatch
 
-	queue chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
-// New starts a server: it opens the store and launches the worker pool.
+// New starts a server: it opens the store and launches the worker pool
+// and the lease watchdog.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	store, err := OpenStore(opts.DataDir)
 	if err != nil {
 		return nil, err
 	}
+	store.hooks = opts.Hooks
 	s := &Server{
 		opts:     opts,
 		store:    store,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
-		queue:    make(chan *job, opts.QueueDepth),
 		quit:     make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.watchdog()
 	return s, nil
 }
 
@@ -197,11 +256,11 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, ErrClosed
 	}
 	// Dedup order matters and must happen under the server lock: a live
-	// job covers the key until finishJob removes it (which happens only
-	// after the result is stored), so checking in-flight first and the
-	// store second leaves no window in which a finishing job's
-	// resubmission could re-queue and recompute. Blobs are small, so a
-	// store read under the lock is cheap.
+	// job covers the key until the terminal transition removes it (which
+	// happens only after the result is stored), so checking in-flight
+	// first and the store second leaves no window in which a finishing
+	// job's resubmission could re-queue and recompute. Blobs are small,
+	// so a store read under the lock is cheap.
 	if live, exists := s.inflight[r.key]; exists {
 		return live.snapshot(), nil
 	}
@@ -213,18 +272,31 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.hits++
 		return j.snapshot(), nil
 	}
-	j := s.addJobLocked(r, StateQueued, false)
-	select {
-	case s.queue <- j:
-	default:
-		// Roll the registration back so the failed submission leaves no
-		// phantom job behind.
-		delete(s.jobs, j.status.ID)
-		s.order = s.order[:len(s.order)-1]
+	if s.freshQueuedLocked() >= s.opts.QueueDepth {
 		return JobStatus{}, ErrQueueFull
 	}
+	j := s.addJobLocked(r, StateQueued, false)
+	s.pending = append(s.pending, j)
 	s.inflight[r.key] = j
+	s.cond.Signal()
 	return j.snapshot(), nil
+}
+
+// freshQueuedLocked counts pending jobs that have never run — the
+// population the QueueDepth bound applies to. Canceled-but-undrained
+// entries and crash-recovery requeues (Attempt ≥ 1) are exempt, so
+// cancellation frees queue room immediately and recovery can't be
+// starved by a full queue. Caller holds s.mu.
+func (s *Server) freshQueuedLocked() int {
+	n := 0
+	for _, j := range s.pending {
+		j.mu.Lock()
+		if j.status.State == StateQueued && j.status.Attempt == 0 {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 // addJobLocked registers a new job under the next ID and evicts the
@@ -296,14 +368,71 @@ func (s *Server) Watch(ctx context.Context, id string, fn func(JobStatus) error)
 	return st, true, err
 }
 
+// Cancel stops a job: a queued job is marked canceled without ever
+// running (its queue entry is skipped when drained, and its queue slot
+// frees immediately), a running job has its attempt context canceled —
+// execution stops at the next shard boundary and any partial tally is
+// discarded. Canceling a terminal job is a no-op that returns its
+// final status, so Cancel is idempotent. The in-flight dedup slot is
+// released, so resubmitting the same spec starts a fresh job.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.mu.Lock()
+	if j.status.Terminal() {
+		st := j.status
+		j.mu.Unlock()
+		return st, true
+	}
+	cancel := j.cancel
+	j.status.State = StateCanceled
+	j.status.StopReason = StopReasonCanceled
+	j.status.DoneMs = time.Now().UnixMilli()
+	st := j.status
+	j.broadcastLocked()
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.mu.Lock()
+	s.cancels++
+	if s.inflight[j.res.key] == j {
+		delete(s.inflight, j.res.key)
+	}
+	s.mu.Unlock()
+	return st, true
+}
+
 // Stats is the server-level counter snapshot of GET /v1/stats.
 type Stats struct {
 	// Jobs counts every submission that registered a job, by state.
-	Jobs    int `json:"jobs"`
-	Queued  int `json:"queued"`
-	Running int `json:"running"`
-	Done    int `json:"done"`
-	Failed  int `json:"failed"`
+	Jobs            int `json:"jobs"`
+	Queued          int `json:"queued"`
+	Running         int `json:"running"`
+	Done            int `json:"done"`
+	Failed          int `json:"failed"`
+	Canceled        int `json:"canceled"`
+	IntegrityErrors int `json:"integrity_errors"`
+	// Attempts counts execution attempts dispatched to workers; Requeues
+	// counts crash-recovery requeues (panics, execution errors, expired
+	// leases) — a healthy server has Requeues 0 and Attempts equal to
+	// jobs executed. Cancellations counts Cancel calls that stopped a
+	// live job.
+	Attempts      int `json:"attempts"`
+	Requeues      int `json:"requeues"`
+	Cancellations int `json:"cancellations"`
+	// IntegrityChecks counts late-completion byte-compares against the
+	// stored result (a superseded attempt finishing after its retry);
+	// IntegrityFailures counts the compares that found a mismatch —
+	// always 0 unless determinism is broken. StoreCorruptions counts
+	// checksum failures the store detected and healed.
+	IntegrityChecks   int `json:"integrity_checks"`
+	IntegrityFailures int `json:"integrity_failures"`
+	StoreCorruptions  int `json:"store_corruptions"`
 	// StoreHits counts submissions answered from the result store;
 	// StorePuts counts results written by this process.
 	StoreHits int `json:"store_hits"`
@@ -320,6 +449,11 @@ func (s *Server) Stats() Stats {
 	var st Stats
 	st.Jobs = len(s.order)
 	st.StoreHits = s.hits
+	st.Attempts = s.attempts
+	st.Requeues = s.requeues
+	st.Cancellations = s.cancels
+	st.IntegrityChecks = s.integrityChecks
+	st.IntegrityFailures = s.integrityErrs
 	for _, id := range s.order {
 		switch s.jobs[id].snapshot().State {
 		case StateQueued:
@@ -330,16 +464,21 @@ func (s *Server) Stats() Stats {
 			st.Done++
 		case StateFailed:
 			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		case StateIntegrityError:
+			st.IntegrityErrors++
 		}
 	}
 	s.mu.Unlock()
-	st.StorePuts = s.store.Stats()
+	st.StorePuts, st.StoreCorruptions = s.store.Stats()
 	st.BuildHits, st.BuildMisses = s.opts.Cache.Stats()
 	return st
 }
 
-// Close stops the server: no new submissions are accepted, running jobs
-// finish, and jobs still queued are failed with ErrClosed's message.
+// Close stops the server: no new submissions are accepted, running
+// attempts finish (Close does not cancel them), and jobs still queued
+// are failed with ErrClosed's message and stop reason "shutdown".
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -347,77 +486,400 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 
 	close(s.quit)
 	s.wg.Wait()
-	// Workers are gone; whatever is left in the queue never started.
-	for {
-		select {
-		case j := <-s.queue:
-			s.failJob(j, ErrClosed.Error())
-		default:
-			return
+	// Workers and the watchdog are gone; whatever is left pending never
+	// (re)started.
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	now := time.Now().UnixMilli()
+	for _, j := range pending {
+		j.mu.Lock()
+		if j.status.State == StateQueued {
+			j.status.State = StateFailed
+			j.status.Error = ErrClosed.Error()
+			j.status.StopReason = StopReasonShutdown
+			j.status.DoneMs = now
+			j.broadcastLocked()
 		}
+		j.mu.Unlock()
+		s.releaseInflight(j)
 	}
 }
 
-// worker drains the queue until Close. The quit check is first so a
-// shutting-down server stops picking up new work even while the queue
-// is non-empty.
+// worker drains the pending queue until Close.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
+		j := s.nextJob()
+		if j == nil {
+			return
+		}
+		s.runAttempt(j)
+	}
+}
+
+// nextJob blocks until a runnable job is pending (skipping entries that
+// were canceled — or completed by a late attempt — while queued) or the
+// server is closing, in which case it returns nil.
+func (s *Server) nextJob() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.pending) > 0 {
+			j := s.pending[0]
+			copy(s.pending, s.pending[1:])
+			s.pending[len(s.pending)-1] = nil
+			s.pending = s.pending[:len(s.pending)-1]
+			j.mu.Lock()
+			runnable := j.status.State == StateQueued
+			j.mu.Unlock()
+			if runnable {
+				return j
+			}
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// watchdog periodically reaps running attempts whose lease expired: the
+// worker is presumed wedged (or its execution stalled), the attempt's
+// context is canceled so the goroutine can be reclaimed, and the job is
+// requeued — or failed once MaxAttempts is exhausted.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	tick := s.opts.Lease / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
 		select {
 		case <-s.quit:
 			return
-		default:
-		}
-		select {
-		case <-s.quit:
-			return
-		case j := <-s.queue:
-			s.runJob(j)
+		case <-t.C:
+			s.reapExpired(time.Now())
 		}
 	}
 }
 
-// runJob executes one queued job and stores its result.
-func (s *Server) runJob(j *job) {
-	j.update(func(st *JobStatus) { st.State = StateRunning })
-	data, err := s.execute(j)
-	if err != nil {
-		s.failJob(j, err.Error())
-		return
+// reapExpired scans running jobs and expires those past their lease.
+func (s *Server) reapExpired(now time.Time) {
+	s.mu.Lock()
+	var expired []*job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.status.State == StateRunning && now.After(j.lease) {
+			expired = append(expired, j)
+		}
+		j.mu.Unlock()
 	}
-	if err := s.store.Put(j.res.key, data); err != nil {
-		s.failJob(j, err.Error())
-		return
+	s.mu.Unlock()
+	for _, j := range expired {
+		s.expireAttempt(j, now)
 	}
-	s.finishJob(j, func(st *JobStatus) {
-		st.State = StateDone
-		st.DoneMs = time.Now().UnixMilli()
-	})
 }
 
-func (s *Server) failJob(j *job, msg string) {
-	s.finishJob(j, func(st *JobStatus) {
-		st.State = StateFailed
-		st.Error = msg
-		st.DoneMs = time.Now().UnixMilli()
+// expireAttempt declares the job's current attempt dead: the failure is
+// recorded, the attempt's context canceled, and the job requeued (or
+// failed terminally when MaxAttempts is spent). The zombie executor, if
+// it ever finishes, is fenced off by the attempt token.
+func (s *Server) expireAttempt(j *job, now time.Time) {
+	j.mu.Lock()
+	if j.status.State != StateRunning || now.Before(j.lease) {
+		j.mu.Unlock()
+		return
+	}
+	att := j.status.Attempt
+	cancel := j.cancel
+	j.cancel = nil
+	j.status.Failures = append(j.status.Failures, AttemptFailure{
+		Attempt: att, Reason: "lease_expired", AtMs: now.UnixMilli(),
 	})
+	terminal := att >= s.opts.MaxAttempts
+	if terminal {
+		j.status.State = StateFailed
+		j.status.Error = fmt.Sprintf("attempt %d/%d missed its heartbeat lease", att, s.opts.MaxAttempts)
+		j.status.StopReason = StopReasonMaxAttempts
+		j.status.DoneMs = now.UnixMilli()
+	} else {
+		j.status.State = StateQueued
+		j.status.Progress = Progress{}
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if terminal {
+		s.releaseInflight(j)
+		return
+	}
+	s.requeue(j)
 }
 
-// finishJob applies the terminal update and releases the in-flight
-// dedup slot (after the store write, so a coalescing submission either
-// joins this job or hits the stored result — never reruns).
-func (s *Server) finishJob(j *job, fn func(*JobStatus)) {
-	j.update(fn)
+// requeue puts an already-accepted job back on the pending queue,
+// bypassing the QueueDepth bound (recovery must not fail on a busy
+// server).
+func (s *Server) requeue(j *job) {
+	s.mu.Lock()
+	if !s.closed {
+		s.pending = append(s.pending, j)
+		s.requeues++
+		s.cond.Signal()
+	} else {
+		// Shutting down: the requeue would never be drained.
+		s.requeues++
+	}
+	s.mu.Unlock()
+}
+
+// releaseInflight frees the dedup slot if j still owns it, always after
+// the terminal transition (and, for done jobs, after the store write)
+// so a coalescing submission either joins the live job or hits the
+// stored result — never reruns a completed spec.
+func (s *Server) releaseInflight(j *job) {
 	s.mu.Lock()
 	if s.inflight[j.res.key] == j {
 		delete(s.inflight, j.res.key)
 	}
 	s.mu.Unlock()
+}
+
+// runAttempt executes one attempt of a dequeued job, with panic
+// recovery: a panicking executor (a decoder bug, an injected fault)
+// costs the job one attempt, never the worker or the server.
+func (s *Server) runAttempt(j *job) {
+	att, ctx, cancel, ok := s.beginAttempt(j)
+	if !ok {
+		return // canceled (or otherwise settled) between dequeue and start
+	}
+	defer cancel()
+	var data []byte
+	var err error
+	panicked := false
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				err = fmt.Errorf("%v", p)
+			}
+		}()
+		data, err = s.execute(ctx, j, att)
+	}()
+	s.finishAttempt(j, att, ctx, data, err, panicked)
+}
+
+// beginAttempt transitions a queued job to running: it mints the next
+// attempt token, resets progress, arms the lease, and builds the
+// attempt context (with the job's timeout, or the server default).
+func (s *Server) beginAttempt(j *job) (att int, ctx context.Context, cancel context.CancelFunc, ok bool) {
+	timeout := s.opts.JobTimeout
+	if j.res.timeout > 0 {
+		timeout = j.res.timeout
+	}
+	j.mu.Lock()
+	if j.status.State != StateQueued {
+		j.mu.Unlock()
+		return 0, nil, nil, false
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.status.State = StateRunning
+	j.status.Attempt++
+	j.status.Progress = Progress{}
+	att = j.status.Attempt
+	j.cancel = cancel
+	j.lease = time.Now().Add(s.opts.Lease)
+	j.broadcastLocked()
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.attempts++
+	s.mu.Unlock()
+	return att, ctx, cancel, true
+}
+
+// touch applies a progress update for attempt att and renews its lease.
+// Stale attempts (superseded, expired or terminal) are fenced off, so a
+// zombie worker can neither roll a retried job's progress back nor keep
+// a dead lease alive.
+func (s *Server) touch(j *job, att int, fn func(*JobStatus)) {
+	j.mu.Lock()
+	if j.status.Attempt != att || j.status.State != StateRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.lease = time.Now().Add(s.opts.Lease)
+	fn(&j.status)
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// finishAttempt routes an attempt's outcome. The attempt token decides
+// whether this executor still owns the job: a stale completion (the
+// watchdog expired it, a retry is running or already finished, or the
+// job was canceled) must not touch job state — but if it produced
+// result bytes, those are byte-compared against the stored result as a
+// free cross-execution integrity check (DESIGN.md §14).
+func (s *Server) finishAttempt(j *job, att int, ctx context.Context, data []byte, err error, panicked bool) {
+	now := time.Now()
+	j.mu.Lock()
+	state := j.status.State
+	owns := j.status.Attempt == att && !j.status.Terminal()
+	j.mu.Unlock()
+
+	if !owns {
+		if data != nil && err == nil {
+			s.integrityCheck(j, data)
+		}
+		return
+	}
+
+	if err == nil {
+		// Success — store first, then the terminal transition, so a
+		// coalescing resubmission never misses both.
+		perr := s.store.Put(j.res.key, data)
+		switch {
+		case perr == nil:
+			s.completeJob(j, att)
+		case errors.Is(perr, ErrStoreMismatch):
+			s.integrityFail(j, perr)
+		default:
+			s.retryOrFail(j, att, "error", perr, now)
+		}
+		return
+	}
+
+	if state == StateQueued {
+		// The watchdog already expired this attempt and scheduled the
+		// retry; the zombie's error (usually context.Canceled from the
+		// expiry) adds nothing.
+		return
+	}
+	if ctx.Err() == context.DeadlineExceeded {
+		s.timeoutJob(j, att, now)
+		return
+	}
+	reason := "error"
+	if panicked {
+		reason = "panic"
+	}
+	s.retryOrFail(j, att, reason, err, now)
+}
+
+// completeJob marks attempt att's job done (no-op if superseded).
+func (s *Server) completeJob(j *job, att int) {
+	j.mu.Lock()
+	if j.status.Attempt != att || j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = nil
+	j.status.State = StateDone
+	j.status.DoneMs = time.Now().UnixMilli()
+	j.broadcastLocked()
+	j.mu.Unlock()
+	s.releaseInflight(j)
+}
+
+// timeoutJob ends a job whose attempt exceeded its wall-time bound.
+// Timeouts are terminal rather than retried: the execution is
+// deterministic, so a rerun would time out again.
+func (s *Server) timeoutJob(j *job, att int, now time.Time) {
+	j.mu.Lock()
+	if j.status.Attempt != att || j.status.State != StateRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = nil
+	j.status.State = StateFailed
+	j.status.Error = fmt.Sprintf("attempt %d exceeded its execution timeout", att)
+	j.status.StopReason = StopReasonTimeout
+	j.status.DoneMs = now.UnixMilli()
+	j.broadcastLocked()
+	j.mu.Unlock()
+	s.releaseInflight(j)
+}
+
+// retryOrFail records a failed attempt and either requeues the job or,
+// with MaxAttempts spent, fails it terminally with the full history.
+func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time.Time) {
+	j.mu.Lock()
+	if j.status.Attempt != att || j.status.State != StateRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = nil
+	j.status.Failures = append(j.status.Failures, AttemptFailure{
+		Attempt: att, Reason: reason, Error: err.Error(), AtMs: now.UnixMilli(),
+	})
+	terminal := att >= s.opts.MaxAttempts
+	if terminal {
+		j.status.State = StateFailed
+		j.status.Error = fmt.Sprintf("attempt %d/%d: %s: %v", att, s.opts.MaxAttempts, reason, err)
+		j.status.StopReason = StopReasonMaxAttempts
+		j.status.DoneMs = now.UnixMilli()
+	} else {
+		j.status.State = StateQueued
+		j.status.Progress = Progress{}
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+	if terminal {
+		s.releaseInflight(j)
+		return
+	}
+	s.requeue(j)
+}
+
+// integrityCheck byte-compares a late completion's result against the
+// store. Determinism says they must match; a mismatch flips the job to
+// integrity_error — even a job already marked done, because the service
+// can no longer vouch for which bytes are canonical.
+func (s *Server) integrityCheck(j *job, data []byte) {
+	s.mu.Lock()
+	s.integrityChecks++
+	s.mu.Unlock()
+	err := s.store.Put(j.res.key, data)
+	if errors.Is(err, ErrStoreMismatch) {
+		s.integrityFail(j, err)
+	}
+}
+
+// integrityFail marks the job integrity_error (overriding done — the
+// result's provenance is compromised either way) and counts the event.
+func (s *Server) integrityFail(j *job, err error) {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.cancel = nil
+	j.status.State = StateIntegrityError
+	j.status.Error = err.Error()
+	j.status.StopReason = StopReasonIntegrity
+	if j.status.DoneMs == 0 {
+		j.status.DoneMs = time.Now().UnixMilli()
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.mu.Lock()
+	s.integrityErrs++
+	s.mu.Unlock()
+	s.releaseInflight(j)
 }
 
 // SpecError marks a submission rejected for a malformed or invalid

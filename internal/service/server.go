@@ -31,6 +31,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 //	GET  /v1/jobs/{id}      one job's status; with ?watch=1, an NDJSON
 //	                        stream of status snapshots that ends when
 //	                        the job reaches a terminal state
+//	DELETE /v1/jobs/{id}    cancel a queued or running job; returns the
+//	                        resulting status (idempotent on terminal
+//	                        jobs)
 //	GET  /v1/results/{key}  the stored result blob (application/json)
 //	GET  /v1/stats          server counters (queue, store, build cache)
 //	GET  /healthz           liveness probe
@@ -39,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +125,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// err is a dead client or a cancelled request — nothing useful can
 	// be written to them anymore.
 	_ = err
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

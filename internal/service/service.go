@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"latticesim/internal/core"
 	"latticesim/internal/hardware"
@@ -50,12 +51,30 @@ import (
 // stop_reason and estimator columns (adaptive allocation).
 const resultSchemaVersion = 2
 
-// Job states.
+// Job states. Queued and running are transient; the rest are terminal.
+// A job may bounce between running and queued several times (crash-safe
+// requeue, DESIGN.md §14) before settling in a terminal state.
 const (
 	StateQueued  = "queued"
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateCanceled marks a job stopped by DELETE /v1/jobs/{id} (or
+	// Server.Cancel) before it produced a result.
+	StateCanceled = "canceled"
+	// StateIntegrityError marks a job whose duplicate executions produced
+	// byte-different results — a determinism violation the service
+	// surfaces loudly instead of silently serving either copy.
+	StateIntegrityError = "integrity_error"
+)
+
+// Stop reasons, carried in JobStatus.StopReason on early-terminal jobs.
+const (
+	StopReasonCanceled    = "canceled"
+	StopReasonTimeout     = "timeout"
+	StopReasonMaxAttempts = "max_attempts"
+	StopReasonIntegrity   = "integrity_error"
+	StopReasonShutdown    = "shutdown"
 )
 
 // JobSpec is the submission body of POST /v1/jobs: exactly one of Sweep
@@ -67,6 +86,12 @@ type JobSpec struct {
 	Sweep *SweepJob `json:"sweep,omitempty"`
 	// Trace configures a trace-simulation job (Type "trace").
 	Trace *TraceJob `json:"trace,omitempty"`
+	// TimeoutMs, when > 0, bounds each execution attempt's wall time;
+	// exceeding it ends the job with state "failed" and stop reason
+	// "timeout". It overrides the server's default job timeout. Like
+	// worker counts it is an execution parameter, not physics, so it is
+	// excluded from the result's content address.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // SweepJob is one campaign point: the same coordinates a `latticesim
@@ -175,6 +200,18 @@ type JobStatus struct {
 	Key      string   `json:"key"`
 	Error    string   `json:"error,omitempty"`
 	Progress Progress `json:"progress"`
+	// Attempt is the 1-based execution attempt that is running (or that
+	// produced the terminal state); 0 while the job has never been
+	// dispatched. Progress resets at the start of every attempt.
+	Attempt int `json:"attempt,omitempty"`
+	// Failures records every attempt that did not complete — panics,
+	// execution errors, and expired leases — in order. A job retried to
+	// success keeps its failure history, so clients can see the recovery.
+	Failures []AttemptFailure `json:"failures,omitempty"`
+	// StopReason distinguishes why an early-terminal job stopped:
+	// "canceled", "timeout", "max_attempts", "integrity_error" or
+	// "shutdown". Empty on jobs that ran to completion.
+	StopReason string `json:"stop_reason,omitempty"`
 	// Spec echoes the normalized submission. The resolved spec is
 	// immutable and shared by every snapshot of a job; to keep ?watch=1
 	// streams light (a trace spec embeds the whole program text), the
@@ -189,9 +226,29 @@ type JobStatus struct {
 	DoneMs   int64 `json:"done_unix_ms,omitempty"`
 }
 
+// AttemptFailure is one failed execution attempt in a job's history.
+type AttemptFailure struct {
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int `json:"attempt"`
+	// Reason classifies the failure: "panic" (the worker panicked and
+	// recovered), "error" (execution returned an error), or
+	// "lease_expired" (the watchdog declared the worker dead after it
+	// missed its heartbeat deadline).
+	Reason string `json:"reason"`
+	// Error is the underlying message, when there is one.
+	Error string `json:"error,omitempty"`
+	// AtMs is when the failure was recorded (Unix milliseconds; carries
+	// no determinism guarantee).
+	AtMs int64 `json:"at_unix_ms,omitempty"`
+}
+
 // Terminal reports whether the state is final.
 func (s JobStatus) Terminal() bool {
-	return s.State == StateDone || s.State == StateFailed
+	switch s.State {
+	case StateDone, StateFailed, StateCanceled, StateIntegrityError:
+		return true
+	}
+	return false
 }
 
 // resolvedJob is a validated, fully defaulted job: everything execution
@@ -207,6 +264,11 @@ type resolvedJob struct {
 	prog *trace.Program
 	tcfg trace.Config
 	pols []core.Policy
+
+	// timeout bounds each execution attempt (0 = use the server default).
+	// Deliberately absent from canonical: timeouts shape execution, not
+	// results.
+	timeout time.Duration
 
 	canonical string
 	key       string
@@ -247,19 +309,33 @@ func parseBasis(s string) (surface.Basis, error) {
 // through it, and ContentKey exposes the address it derives so clients
 // can predict a result key without contacting a server.
 func (s JobSpec) resolve() (*resolvedJob, error) {
+	if s.TimeoutMs < 0 {
+		return nil, fmt.Errorf("timeout_ms %d must be ≥ 0", s.TimeoutMs)
+	}
+	var r *resolvedJob
+	var err error
 	switch s.Type {
 	case "sweep":
 		if s.Sweep == nil || s.Trace != nil {
 			return nil, fmt.Errorf("type %q requires exactly the sweep field", s.Type)
 		}
-		return resolveSweep(*s.Sweep)
+		r, err = resolveSweep(*s.Sweep)
 	case "trace":
 		if s.Trace == nil || s.Sweep != nil {
 			return nil, fmt.Errorf("type %q requires exactly the trace field", s.Type)
 		}
-		return resolveTrace(*s.Trace)
+		r, err = resolveTrace(*s.Trace)
+	default:
+		return nil, fmt.Errorf("unknown job type %q (sweep or trace)", s.Type)
 	}
-	return nil, fmt.Errorf("unknown job type %q (sweep or trace)", s.Type)
+	if err != nil {
+		return nil, err
+	}
+	// The timeout rides along in the echo (so clients see what they set)
+	// but never reaches the canonical descriptor or the content key.
+	r.timeout = time.Duration(s.TimeoutMs) * time.Millisecond
+	r.spec.TimeoutMs = s.TimeoutMs
+	return r, nil
 }
 
 // ContentKey resolves the spec and returns the content address its

@@ -334,7 +334,7 @@ func TestInFlightCoalescing(t *testing.T) {
 		t.Fatalf("job finished %s: %s", finA.State, finA.Error)
 	}
 	// Exactly one execution must have stored the result.
-	if puts := srv.Store().Stats(); puts != 1 {
+	if puts, _ := srv.Store().Stats(); puts != 1 {
 		t.Fatalf("store puts = %d, want 1", puts)
 	}
 }

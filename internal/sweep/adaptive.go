@@ -215,13 +215,19 @@ func (r *pointRunner) relCI() float64 { return r.ci.RelWidth() }
 // contract progress consumers rely on.
 func (r *pointRunner) advance(to int, cfg Config, acfg AdaptiveConfig) {
 	for r.granted < to {
+		if ctxErr(cfg.Ctx) != nil {
+			// Canceled: stop advancing. The caller surfaces the ctx error
+			// and discards every record, so the partial fold is never
+			// observable.
+			return
+		}
 		chunkEnd := r.granted + acfg.Increment
 		if chunkEnd > to {
 			chunkEnd = to
 		}
 		base := r.granted
 		if r.sampler != nil {
-			parts := r.sampler.RunShards(base, chunkEnd, r.rec.Seed, cfg.Workers)
+			parts := r.sampler.RunShards(cfg.Ctx, base, chunkEnd, r.rec.Seed, cfg.Workers)
 			done := 0
 			for _, part := range parts {
 				// Per-shard folds in shard order: the bit-identity
@@ -310,6 +316,7 @@ func newPointRunner(cache *BuildCache, pt Point, index int, cfg Config, acfg Ada
 	pl := *art.Pipeline
 	pl.Workers = cfg.Workers
 	pl.Progress = nil
+	pl.Ctx = cfg.Ctx
 	r.pl = &pl
 	if acfg.usesImportance(pt.P) {
 		s, err := mc.NewImportanceSampler(pl.Model, pl.Graph, acfg.Boost)
@@ -342,6 +349,9 @@ func allocate(runners []*pointRunner, budget int, cfg Config, acfg AdaptiveConfi
 		}
 	}
 	for {
+		if ctxErr(cfg.Ctx) != nil {
+			return
+		}
 		// Widest relative CI first; ties break to canonical grid order
 		// (runners are scanned in it).
 		var best *pointRunner
@@ -419,6 +429,11 @@ func (c *Campaign) runAdaptive(pts []Point, cfg Config, acfg AdaptiveConfig, cac
 		runners[i] = s.runner
 	}
 	allocate(runners, cfg.Shots*feasible, cfg, acfg)
+	if err := ctxErr(cfg.Ctx); err != nil {
+		// Canceled mid-allocation: tallies may be partial, so no record
+		// is emitted or journaled.
+		return sum, err
+	}
 	for _, s := range slots {
 		rec := s.runner.finalize()
 		key := rec.Key
@@ -465,5 +480,8 @@ func executeAdaptivePoint(cache *BuildCache, pt Point, cfg Config, acfg Adaptive
 		budget = cfg.Shots
 	}
 	allocate([]*pointRunner{r}, budget, cfg, acfg)
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Record{}, err
+	}
 	return r.finalize(), nil
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -43,6 +44,22 @@ type Config struct {
 	// whole grid, so slicing it is ill-defined); Run reports an error
 	// when both are set.
 	Adaptive *AdaptiveConfig
+	// Ctx, when non-nil, cancels execution: Campaign.Run stops between
+	// points, and ExecutePoint stops at Monte Carlo shard boundaries
+	// (mc.Pipeline.Ctx), returning ctx's error with the partial record
+	// discarded. Cancellation can only lose results, never change them —
+	// every record actually emitted is bit-identical to an uncancelled
+	// run's. The simulation service threads per-job contexts through
+	// here for job cancellation and timeouts (DESIGN.md §14).
+	Ctx context.Context
+}
+
+// ctxErr returns ctx's error when the context is set and done.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // WithDefaults resolves the zero values: 40000 shots, seed 0xC0FFEE.
@@ -119,6 +136,9 @@ func (c *Campaign) Run() (Summary, error) {
 
 	sum := Summary{Points: len(pts)}
 	for i, pt := range pts {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return sum, err
+		}
 		key := pt.Key()
 		if c.Manifest != nil && c.Manifest.Done(key) {
 			sum.Skipped++
@@ -192,6 +212,9 @@ func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 		Seed:          pt.Seed(cfg.Seed),
 		Shots:         cfg.Shots,
 	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return rec, err
+	}
 	spec, plan, ok := pt.Resolve()
 	rec.Feasible = ok
 	if ok {
@@ -208,7 +231,14 @@ func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 		pl := *art.Pipeline
 		pl.Workers = cfg.Workers
 		pl.Progress = cfg.ShotProgress
-		rec.fillStats(pl.Run(rec.Shots, rec.Seed))
+		pl.Ctx = cfg.Ctx
+		out := pl.Run(rec.Shots, rec.Seed)
+		// A canceled run's tally is partial: surface the cancellation and
+		// drop the record rather than emit non-canonical statistics.
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return rec, err
+		}
+		rec.fillStats(out)
 		rec.ShotsGranted = rec.Shots
 		rec.StopReason = StopFixed
 		rec.Estimator = EstimatorMC

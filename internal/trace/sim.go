@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"latticesim/internal/core"
@@ -57,6 +58,13 @@ type Config struct {
 	// across policies. Optional; a private cache is used when nil. Pass a
 	// shared cache when simulating several policies over one trace.
 	Cache *sweep.BuildCache
+	// Ctx, when non-nil, cancels the simulation: the event loop checks it
+	// at merge boundaries and the seam Monte Carlo runs observe it at
+	// shard boundaries, so Simulate returns ctx's error promptly with no
+	// partial Result. As everywhere in the repo, cancellation can only
+	// lose a result, never change one. The simulation service threads
+	// per-job contexts through here (DESIGN.md §14).
+	Ctx context.Context
 }
 
 // WithDefaults resolves the zero values to the documented defaults.
@@ -245,6 +253,9 @@ func Simulate(prog *Program, policy core.Policy, cfg Config) (*Result, error) {
 			clockNs += advance
 
 		case OpMerge:
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return nil, cfg.Ctx.Err()
+			}
 			ms, pairSurvival, err := runMerge(eng, cache, prog, op, opIdx, cycles, pending, cfg, policy, res)
 			if err != nil {
 				return nil, err
@@ -371,7 +382,12 @@ func runMerge(eng *microarch.Engine, cache *sweep.BuildCache, prog *Program,
 		// mutated (the same discipline as the sweep executor).
 		pl := *art.Pipeline
 		pl.Workers = cfg.Workers
+		pl.Ctx = cfg.Ctx
 		out := pl.Run(cfg.Shots, seed)
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			// A canceled run's tally is partial; drop it.
+			return ms, 0, cfg.Ctx.Err()
+		}
 		survival *= 1 - out.Rate(surface.ObsJoint)
 	}
 	ref := sched.Reference

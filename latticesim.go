@@ -290,8 +290,16 @@ type (
 	ServiceTraceJob = service.TraceJob
 	// ServiceJobStatus is a job's queue state, progress and result key.
 	ServiceJobStatus = service.JobStatus
-	// ServiceStats are the server's queue/store/build-cache counters.
+	// ServiceStats are the server's queue/store/build-cache counters,
+	// including recovery counters (attempts, requeues, cancellations,
+	// integrity checks).
 	ServiceStats = service.Stats
+	// ServiceRetryPolicy configures client-side retries with jittered
+	// exponential backoff; set it on ServiceClient.Retry.
+	ServiceRetryPolicy = service.RetryPolicy
+	// ServiceAttemptFailure is one recorded failed execution attempt in
+	// a job's retry history (JobStatus.Failures).
+	ServiceAttemptFailure = service.AttemptFailure
 )
 
 // NewService starts an embeddable simulation server; expose it over
@@ -301,6 +309,10 @@ func NewService(opts ServiceOptions) (*Service, error) { return service.New(opts
 // NewServiceClient returns a client for the simulation service at base
 // (e.g. "http://127.0.0.1:8642").
 func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
+// DefaultServiceRetryPolicy is the retry policy `latticesim submit
+// -retry` uses: 5 retries, 100ms base delay, 5s cap, full jitter.
+func DefaultServiceRetryPolicy() *ServiceRetryPolicy { return service.DefaultRetryPolicy() }
 
 // Experiments: regeneration of the paper's tables and figures.
 type (
