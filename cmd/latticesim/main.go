@@ -11,7 +11,8 @@
 //	latticesim sweep [sweep flags] -out DIR
 //	latticesim trace [trace flags]
 //	latticesim serve [serve flags]
-//	latticesim submit sweep|trace [submit flags]
+//	latticesim worker [worker flags]
+//	latticesim submit sweep|trace|campaign [submit flags]
 //
 // Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
 // code distance default to laptop-scale values; the paper's settings are
@@ -29,10 +30,13 @@
 //
 // The serve subcommand starts the always-on simulation service: a job
 // queue with a content-addressed result store, so identical submissions
-// are answered from cache bit-identically (DESIGN.md §11). The submit
-// subcommand is its command-line client. Both sweep and trace accept
-// -json to emit the same machine-readable schemas the service returns,
-// making CLI and API outputs interchangeable.
+// are answered from cache bit-identically (DESIGN.md §11). The worker
+// subcommand joins a serve coordinator as a pull-based execution node,
+// so a whole campaign fabric — coordinator plus N leased workers — runs
+// from one binary (DESIGN.md §15). The submit subcommand is their
+// command-line client. Both sweep and trace accept -json to emit the
+// same machine-readable schemas the service returns, making CLI and API
+// outputs interchangeable.
 package main
 
 import (
@@ -66,6 +70,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := runWorker(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "submit" {
 		if err := runSubmit(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "latticesim submit: %v\n", err)
@@ -94,6 +105,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       latticesim sweep -help")
 		fmt.Fprintln(os.Stderr, "       latticesim trace -help")
 		fmt.Fprintln(os.Stderr, "       latticesim serve -help")
+		fmt.Fprintln(os.Stderr, "       latticesim worker -help")
 		fmt.Fprintln(os.Stderr, "       latticesim submit -help")
 		os.Exit(2)
 	}

@@ -21,20 +21,31 @@ func runServe(args []string) error {
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), `usage: latticesim serve [flags]
 
-Starts the always-on simulation service: sweep-point and trace jobs are
-accepted over a small HTTP/JSON API, executed by a bounded worker pool
-that shares one build cache, and their results stored content-addressed
-so identical re-submissions are served bit-identically from cache.
+Starts the always-on simulation service: sweep-point, trace, batch and
+campaign jobs are accepted over an HTTP/JSON API, executed by a bounded
+worker pool that shares one build cache and/or by remote nodes
+(`+"`latticesim worker`"+`) pulling leased work units, and their results stored
+content-addressed so identical re-submissions are served bit-identically
+from cache. With -workers 0 the process is a pure coordinator: it
+schedules and leases work but executes nothing itself.
 
-API (see DESIGN.md §11; failure model and recovery §14):
-  POST   /v1/jobs           submit a job spec
-  GET    /v1/jobs/{id}      job status (?watch=1 streams NDJSON progress)
-  DELETE /v1/jobs/{id}      cancel a queued or running job
-  GET    /v1/results/{key}  stored result JSON
-  GET    /v1/stats          queue/store/build-cache/recovery counters
-  GET    /healthz           liveness probe
+API (see API.md for the full contract; DESIGN.md §11, §14, §15):
+  POST   /v1/jobs              submit a job spec
+  GET    /v1/jobs/{id}         job status (?watch=1 streams NDJSON)
+  DELETE /v1/jobs/{id}         cancel a queued or running job
+  POST   /v1/campaigns         submit a sweep-grid campaign
+  GET    /v1/campaigns/{id}    campaign status with per-batch detail
+  POST   /v1/workers           register a worker node
+  POST   /v1/workers/{id}/lease  lease one work unit
+  POST   /v1/leases/{id}       report on a leased unit
+  GET/PUT /v1/results/{key}    stored result JSON
+  GET    /v1/stats             queue/fleet/store/build-cache counters
+  GET    /healthz              liveness probe
 
-Submit jobs with `+"`latticesim submit`"+` or any HTTP client.
+Submit jobs with `+"`latticesim submit`"+`, add execution nodes with
+`+"`latticesim worker`"+`, or use any HTTP client. The X-Tenant request
+header attributes submissions to a tenant for -tenant-quota admission
+control.
 
 Flags:`)
 		fs.PrintDefaults()
@@ -42,22 +53,30 @@ Flags:`)
 	var (
 		addr    = fs.String("addr", "127.0.0.1:8642", "listen address")
 		data    = fs.String("data", "serve-data", "result-store directory (\"\" = memory only)")
-		workers = fs.Int("workers", 2, "queue workers executing jobs concurrently")
+		workers = fs.Int("workers", 2, "local queue workers executing jobs concurrently (0 = coordinator-only: all execution happens on remote worker nodes)")
 		queue   = fs.Int("queue", 64, "bounded queue depth; submissions beyond it get 503")
 		mcw     = fs.Int("mc-workers", 0, "Monte Carlo worker-pool size per running job (0 = GOMAXPROCS; results are independent of it)")
 		quiet   = fs.Bool("quiet", false, "suppress startup and shutdown log lines")
 
-		maxAttempts = fs.Int("max-attempts", 0, "execution attempts per job before it fails terminally; panics, errors and missed leases each consume one (0 = 3)")
+		maxAttempts = fs.Int("max-attempts", 0, "failed execution attempts per job before it fails terminally; panics, errors and missed leases each consume one (0 = 3)")
 		lease       = fs.Duration("lease", 0, "heartbeat lease per running attempt; an attempt that misses it is declared dead and the job requeued (0 = 30s)")
 		jobTimeout  = fs.Duration("job-timeout", 0, "default wall-time bound per attempt, overridable per job via timeout_ms (0 = unbounded)")
+
+		tenantQuota = fs.Int("tenant-quota", 0, "live work units (queued + running jobs, campaign children included) allowed per tenant; submissions beyond it get 429 (0 = unlimited)")
+		stealAge    = fs.Duration("steal-age", 0, "idle worker nodes may duplicate a running campaign-batch attempt whose lease was last renewed at least this long ago (0 = lease/2; negative disables stealing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	lw := *workers
+	if lw == 0 {
+		lw = -1 // CLI 0 = coordinator-only; Options 0 would mean the default pool
+	}
 	svc, err := service.New(service.Options{
-		DataDir: *data, Workers: *workers, QueueDepth: *queue, MCWorkers: *mcw,
+		DataDir: *data, Workers: lw, QueueDepth: *queue, MCWorkers: *mcw,
 		MaxAttempts: *maxAttempts, Lease: *lease, JobTimeout: *jobTimeout,
+		TenantQuota: *tenantQuota, StealAge: *stealAge,
 	})
 	if err != nil {
 		return err

@@ -16,8 +16,9 @@ import (
 // result can be piped or diffed byte-for-byte).
 func runSubmit(args []string) error {
 	usage := func(out *os.File) {
-		fmt.Fprintln(out, `usage: latticesim submit sweep  [flags]     submit one sweep point
-       latticesim submit trace  [flags]     submit a trace simulation
+		fmt.Fprintln(out, `usage: latticesim submit sweep    [flags]   submit one sweep point
+       latticesim submit trace    [flags]   submit a trace simulation
+       latticesim submit campaign [flags]   submit a whole sweep grid
        latticesim submit -cancel <job-id>   cancel a queued or running job
 
 Submits a job to a running `+"`latticesim serve`"+` instance, waits for it,
@@ -40,6 +41,8 @@ execution attempt's wall time. Use -help on either form for flags.`)
 		return submitSweep(args[1:])
 	case "trace":
 		return submitTrace(args[1:])
+	case "campaign":
+		return submitCampaign(args[1:])
 	case "-h", "-help", "--help":
 		usage(os.Stdout)
 		return nil
@@ -49,7 +52,7 @@ execution attempt's wall time. Use -help on either form for flags.`)
 		return submitCancel(args)
 	}
 	usage(os.Stderr)
-	return fmt.Errorf("unknown job kind %q (sweep or trace)", args[0])
+	return fmt.Errorf("unknown job kind %q (sweep, trace or campaign)", args[0])
 }
 
 // submitCommon holds the flags shared by both job kinds.
@@ -58,6 +61,7 @@ type submitCommon struct {
 	wait    *bool
 	quiet   *bool
 	retry   *bool
+	tenant  *string
 	timeout *time.Duration
 }
 
@@ -66,7 +70,8 @@ func addCommon(fs *flag.FlagSet) submitCommon {
 		server:  fs.String("server", "http://127.0.0.1:8642", "server base URL"),
 		wait:    fs.Bool("wait", true, "wait for the job and print its result JSON to stdout"),
 		quiet:   fs.Bool("quiet", false, "suppress the status line on stderr"),
-		retry:   fs.Bool("retry", false, "retry transient failures (transport errors, queue-full 503s, dropped watch streams) with jittered exponential backoff"),
+		retry:   fs.Bool("retry", false, "retry transient failures (transport errors, queue-full 503s, over-quota 429s, dropped watch streams) with jittered exponential backoff"),
+		tenant:  fs.String("tenant", "", "tenant the submission counts against for quota accounting (\"\" = \"default\")"),
 		timeout: fs.Duration("timeout", 0, "per-attempt wall-time bound for this job; exceeding it fails the job with stop reason \"timeout\" (0 = server default)"),
 	}
 }
@@ -74,6 +79,7 @@ func addCommon(fs *flag.FlagSet) submitCommon {
 // client builds the API client, with retries when -retry is set.
 func (c submitCommon) client() *service.Client {
 	client := service.NewClient(*c.server)
+	client.Tenant = *c.tenant
 	if *c.retry {
 		client.Retry = service.DefaultRetryPolicy()
 	}
@@ -86,11 +92,18 @@ func (c submitCommon) run(spec service.JobSpec) error {
 	if *c.timeout > 0 {
 		spec.TimeoutMs = c.timeout.Milliseconds()
 	}
-	ctx := context.Background()
-	st, err := client.Submit(ctx, spec)
+	st, err := client.Submit(context.Background(), spec)
 	if err != nil {
 		return err
 	}
+	return c.await(client, st)
+}
+
+// await follows a submitted job to its terminal state and prints the
+// result JSON (shared by every submission form).
+func (c submitCommon) await(client *service.Client, st service.JobStatus) error {
+	ctx := context.Background()
+	var err error
 	if !*c.quiet {
 		fmt.Fprintf(os.Stderr, "submitted %s state=%s cache_hit=%v key=%s\n",
 			st.ID, st.State, st.CacheHit, st.Key)
@@ -233,4 +246,43 @@ func submitTrace(args []string) error {
 		D: *d, P: *p, Basis: *basis, EpsNs: *eps, MaxZ: *maxZ,
 		StaggerNs: *stagger, Shots: *shots, Seed: *seed,
 	}})
+}
+
+// submitCampaign submits a whole sweep grid through the campaign
+// resource (POST /v1/campaigns): the coordinator cuts it into batch
+// work units, its worker pool and any `latticesim worker` nodes execute
+// them, and the printed aggregate is byte-identical to running
+// `latticesim sweep -json` over the same grid locally.
+func submitCampaign(args []string) error {
+	fs := flag.NewFlagSet("submit campaign", flag.ExitOnError)
+	common := addCommon(fs)
+	var (
+		hw       = fs.String("hw", "IBM", "hardware profile (IBM, Google, QuEra, IBM-Sherbrooke)")
+		scale    = fs.Float64("scale", 0, "scale the profile so its cycle equals this many ns (0 = native; the paper's §7.3 grids use -scale 1000)")
+		policies = fs.String("policies", "Passive,Active", "comma-separated policies (Ideal, Passive, Active, Active-intra, ExtraRounds, Hybrid)")
+		ds       = fs.String("d", "3", "comma-separated odd code distances")
+		taus     = fs.String("tau", "1000", "comma-separated synchronization slacks in ns")
+		ps       = fs.String("p", "1e-3", "comma-separated physical error rates")
+		bases    = fs.String("basis", "X", "comma-separated merge bases (X, Z)")
+		cycleP   = fs.Float64("cyclep", 0, "patch P cycle time in ns (0 = hardware base cycle)")
+		cyclePPs = fs.String("cyclepp", "0", "comma-separated patch P' cycle times in ns (0 = hardware base cycle)")
+		eps      = fs.Int64("eps", 0, "Hybrid residual-slack tolerance in ns")
+		shots    = fs.Int("shots", 0, "shots per point (0 = 40000)")
+		seed     = fs.Uint64("seed", 0, "campaign seed; point seeds derive from it (0 = default)")
+		batchPts = fs.Int("batch-points", 0, "grid points per leased work unit (0 = 16); shapes scheduling only, never result bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := common.client()
+	st, err := client.SubmitCampaign(context.Background(), service.CampaignJob{
+		Hardware: *hw, ScaleNs: *scale, Policies: *policies, Distances: *ds,
+		TausNs: *taus, ErrorRates: *ps, Bases: *bases, CyclePNs: *cycleP,
+		CyclePPrimeNs: *cyclePPs, EpsNs: *eps, Shots: *shots, Seed: *seed,
+		BatchPoints: *batchPts,
+	})
+	if err != nil {
+		return err
+	}
+	return common.await(client, st)
 }

@@ -79,6 +79,10 @@ type Client struct {
 	// Retry, when non-nil, retries transient failures (see RetryPolicy).
 	// nil disables retries: every failure is returned immediately.
 	Retry *RetryPolicy
+	// Tenant, when non-empty, is sent as the X-Tenant header on
+	// submissions, attributing them to that tenant's quota ("" =
+	// "default").
+	Tenant string
 }
 
 // NewClient returns a client for the server at base.
@@ -93,19 +97,64 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiErr converts a non-2xx response into an error carrying the request
-// URL, preferring the server's JSON error envelope.
+// APIStatusError is a non-2xx server response decoded into its error
+// envelope: the HTTP status, the stable machine-readable code, the
+// message, and the server's retry hint. Legacy servers (pre-envelope
+// {"error": "message"} bodies, tolerated for one schema version — see
+// API.md) and non-JSON bodies decode with Code "".
+type APIStatusError struct {
+	// StatusCode is the HTTP status; URL describes the failing request.
+	StatusCode int
+	URL        string
+	// APIError is the decoded envelope payload (Code "" when the server
+	// sent a legacy or non-JSON body).
+	APIError
+}
+
+func (e *APIStatusError) Error() string {
+	u := ""
+	if e.URL != "" {
+		u = " (" + e.URL + ")"
+	}
+	code := ""
+	if e.Code != "" {
+		code = " [" + e.Code + "]"
+	}
+	return fmt.Sprintf("service: HTTP %d%s%s: %s", e.StatusCode, u, code, e.Message)
+}
+
+// ErrorCode extracts the envelope code from an error returned by this
+// client ("" when the error is not an APIStatusError or the server sent
+// no code), so callers can branch on stable codes instead of matching
+// message text.
+func ErrorCode(err error) string {
+	var se *APIStatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ""
+}
+
+// apiErr converts a non-2xx response into an *APIStatusError, decoding
+// the JSON error envelope (and tolerating the legacy string form and
+// raw text bodies).
 func apiErr(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	u := ""
+	se := &APIStatusError{StatusCode: resp.StatusCode}
 	if resp.Request != nil && resp.Request.URL != nil {
-		u = " (" + resp.Request.Method + " " + resp.Request.URL.String() + ")"
+		se.URL = resp.Request.Method + " " + resp.Request.URL.String()
 	}
-	var e apiError
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service: %s%s: %s", resp.Status, u, e.Error)
+	var env errorEnvelope
+	var legacy legacyEnvelope
+	switch {
+	case json.Unmarshal(body, &env) == nil && env.Error.Message != "":
+		se.APIError = env.Error
+	case json.Unmarshal(body, &legacy) == nil && legacy.Error != "":
+		se.Message = legacy.Error
+	default:
+		se.Message = string(bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("service: %s%s: %s", resp.Status, u, bytes.TrimSpace(body))
+	return se
 }
 
 // retryAfter parses a response's Retry-After seconds (0 when absent).
@@ -133,10 +182,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // doRetry runs build→Do→handle with the client's retry policy. build
 // must return a fresh request each call (bodies are consumed); handle
-// sees only 200 responses. Transport errors, 503s, and handle errors
-// (a torn body — the connection died mid-response) are retried;
-// anything else is final. Retrying handle is safe because every
-// request through here is idempotent.
+// sees only 2xx responses. Transport errors, 503s (full queue), 429s
+// (over quota), and handle errors (a torn body — the connection died
+// mid-response) are retried; anything else is final. Retrying handle
+// is safe because every request through here is idempotent. The
+// server's retry hint — the envelope's retry_after_ms, or the
+// Retry-After header — floors the backoff.
 func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error), handle func(*http.Response) error) error {
 	for n := 0; ; n++ {
 		req, err := build()
@@ -146,7 +197,7 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 		resp, err := c.httpClient().Do(req)
 		var after time.Duration
 		if err == nil {
-			if resp.StatusCode == http.StatusOK {
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 				herr := handle(resp)
 				resp.Body.Close()
 				if herr == nil {
@@ -157,7 +208,15 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 				after = retryAfter(resp)
 				aerr := apiErr(resp)
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusServiceUnavailable {
+				var se *APIStatusError
+				if errors.As(aerr, &se) && se.RetryAfterMs > 0 {
+					if d := time.Duration(se.RetryAfterMs) * time.Millisecond; d > after {
+						after = d
+					}
+				}
+				retryable := resp.StatusCode == http.StatusServiceUnavailable ||
+					resp.StatusCode == http.StatusTooManyRequests
+				if !retryable {
 					return aerr
 				}
 				err = aerr
@@ -204,17 +263,102 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	var st JobStatus
-	err = c.doRetry(ctx, func() (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	err = c.postJSON(ctx, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// postJSON posts a prepared JSON body to path and decodes the 200
+// response into out, with retries and tenant attribution.
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any) error {
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if c.Tenant != "" {
+			req.Header.Set("X-Tenant", c.Tenant)
+		}
 		return req, nil
 	}, func(resp *http.Response) error {
-		return decodeJSON(resp, &st)
+		if out == nil {
+			return nil
+		}
+		return decodeJSON(resp, out)
 	})
+}
+
+// SubmitCampaign posts a campaign to the noun resource
+// (POST /v1/campaigns) and returns the campaign parent's status. Like
+// Submit it is idempotent: the campaign's content address dedups
+// resubmissions.
+func (c *Client) SubmitCampaign(ctx context.Context, cj CampaignJob) (JobStatus, error) {
+	body, err := json.Marshal(cj)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.postJSON(ctx, "/v1/campaigns", body, &st)
 	return st, err
+}
+
+// Campaign fetches a campaign's status with its per-batch breakdown.
+func (c *Client) Campaign(ctx context.Context, id string) (CampaignStatus, error) {
+	var st CampaignStatus
+	err := c.getJSON(ctx, "/v1/campaigns/"+url.PathEscape(id), &st)
+	return st, err
+}
+
+// RegisterWorker registers this process as a worker node and returns
+// the coordinator's record (the ID in it names the node on every
+// subsequent lease call).
+func (c *Client) RegisterWorker(ctx context.Context, name string) (WorkerInfo, error) {
+	body, err := json.Marshal(registerWorkerRequest{Name: name})
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	var info WorkerInfo
+	err = c.postJSON(ctx, "/v1/workers", body, &info)
+	return info, err
+}
+
+// Workers lists the coordinator's registered worker nodes.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	err := c.getJSON(ctx, "/v1/workers", &out)
+	return out, err
+}
+
+// LeaseWork asks the coordinator for one work unit. A nil grant with a
+// nil error means there is nothing to lease right now (poll again
+// later). ErrorCode(err) == "not_found" means the coordinator no
+// longer knows the worker ID (it restarted) — re-register.
+func (c *Client) LeaseWork(ctx context.Context, workerID string) (*LeaseGrant, error) {
+	var grant *LeaseGrant
+	err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/workers/"+url.PathEscape(workerID)+"/lease", nil)
+	}, func(resp *http.Response) error {
+		if resp.StatusCode == http.StatusNoContent {
+			return nil
+		}
+		grant = new(LeaseGrant)
+		return decodeJSON(resp, grant)
+	})
+	return grant, err
+}
+
+// UpdateLease reports on a leased unit (heartbeat, complete, or fail).
+// Ack.Valid false tells the worker to abandon the unit: its lease no
+// longer owns the job.
+func (c *Client) UpdateLease(ctx context.Context, leaseID string, u LeaseUpdate) (LeaseAck, error) {
+	body, err := json.Marshal(u)
+	if err != nil {
+		return LeaseAck{}, err
+	}
+	var ack LeaseAck
+	err = c.postJSON(ctx, "/v1/leases/"+url.PathEscape(leaseID), body, &ack)
+	return ack, err
 }
 
 // Job fetches a job's current status.

@@ -25,54 +25,107 @@ func (s *Server) execute(ctx context.Context, j *job, att int) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := j.res
-	switch {
-	case r.spec.Type == "sweep":
-		return s.executeSweep(ctx, j, att)
-	case r.spec.Type == "trace":
-		return s.executeTrace(ctx, j, att)
+	return executeResolved(ctx, s.opts.Cache, j.res, s.opts.MCWorkers, func(p Progress) {
+		s.touch(j, att, p)
+	})
+}
+
+// ExecuteSpec resolves a job spec and executes it locally — the entry
+// point worker nodes (internal/worker) use to run leased units with the
+// same executors, build-cache reuse and determinism contract the
+// coordinator's own pool has. workers sizes the Monte Carlo pool (0 =
+// GOMAXPROCS); onProgress (nil allowed) observes progress in the job's
+// native unit and doubles as the caller's heartbeat trigger. Campaign
+// specs are refused: campaigns are scheduled by the coordinator, only
+// their batch children execute on nodes.
+func ExecuteSpec(ctx context.Context, cache *sweep.BuildCache, spec JobSpec, workers int, onProgress func(Progress)) ([]byte, error) {
+	if spec.Type == "campaign" {
+		return nil, fmt.Errorf("service: campaign jobs are scheduled by the coordinator, not executed directly")
+	}
+	r, err := spec.resolve()
+	if err != nil {
+		return nil, &SpecError{Err: err}
+	}
+	if cache == nil {
+		cache = sweep.NewBuildCache()
+	}
+	return executeResolved(ctx, cache, r, workers, onProgress)
+}
+
+// executeResolved dispatches a resolved job to its executor. It is
+// deliberately independent of *Server so the coordinator's local pool
+// and remote worker nodes share one code path.
+func executeResolved(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+	if onProgress == nil {
+		onProgress = func(Progress) {}
+	}
+	switch r.spec.Type {
+	case "sweep":
+		return executeSweep(ctx, cache, r, workers, onProgress)
+	case "trace":
+		return executeTrace(ctx, cache, r, workers, onProgress)
+	case "batch":
+		return executeBatch(ctx, cache, r, workers, onProgress)
 	}
 	return nil, fmt.Errorf("service: unresolvable job type %q", r.spec.Type)
 }
 
 // executeSweep runs the job's single campaign point via the shared
-// build cache, streaming shot-level progress into the job status, and
-// canonicalizes the record (wall_ms zeroed — the only nondeterministic
-// field) so re-submissions serve bit-identical bytes.
-func (s *Server) executeSweep(ctx context.Context, j *job, att int) ([]byte, error) {
-	cfg := j.res.scfg
-	cfg.Workers = s.opts.MCWorkers
+// build cache, streaming shot-level progress, and canonicalizes the
+// record (wall_ms zeroed — the only nondeterministic field) so
+// re-submissions serve bit-identical bytes.
+func executeSweep(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+	cfg := r.scfg
+	cfg.Workers = workers
 	cfg.Ctx = ctx
 	cfg.ShotProgress = func(done, total int) {
-		s.touch(j, att, func(st *JobStatus) {
-			// Shot counts arrive concurrently from Monte Carlo workers and
-			// are cumulative but unordered; keep only forward motion so a
-			// late-arriving smaller count can't roll a finished job's
-			// progress back.
-			if done > st.Progress.Done {
-				st.Progress = Progress{Done: done, Total: total, Unit: "shots"}
-			}
-		})
+		onProgress(Progress{Done: done, Total: total, Unit: "shots"})
 	}
-	rec, err := sweep.ExecutePoint(s.opts.Cache, j.res.pt, cfg)
+	rec, err := sweep.ExecutePoint(cache, r.pt, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return rec.CanonicalJSON()
 }
 
+// executeBatch runs the batch's points sequentially in listed order
+// (the canonical grid order its campaign cut it from) and concatenates
+// their canonical record lines. Progress counts whole points; inner
+// shot progress is forwarded at the same point count so lease
+// heartbeats keep flowing through a long point.
+func executeBatch(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+	var out []byte
+	n := len(r.units)
+	for i, u := range r.units {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		done := i
+		line, err := executeSweep(ctx, cache, u, workers, func(Progress) {
+			onProgress(Progress{Done: done, Total: n, Unit: "points"})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+		onProgress(Progress{Done: i + 1, Total: n, Unit: "points"})
+	}
+	return out, nil
+}
+
 // executeTrace simulates the job's program under each policy in
-// request order, sharing the server build cache, and reports progress
-// in merge events summed across policies. The assembled ResultSet
+// request order, sharing the build cache, and reports progress in
+// merge events summed across policies. The assembled ResultSet
 // deliberately carries no Source label: stored bytes must be a pure
 // function of the content address, and the source (a file name, a
 // workload label) is submission metadata, not physics.
-func (s *Server) executeTrace(ctx context.Context, j *job, att int) ([]byte, error) {
-	cfg := j.res.tcfg
-	cfg.Workers = s.opts.MCWorkers
-	cfg.Cache = s.opts.Cache
+func executeTrace(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+	cfg := r.tcfg
+	cfg.Workers = workers
+	cfg.Cache = cache
 	cfg.Ctx = ctx
-	prog, pols := j.res.prog, j.res.pols
+	prog, pols := r.prog, r.pols
 	perPolicy := prog.Merges()
 	total := perPolicy * len(pols)
 	results := make([]*trace.Result, 0, len(pols))
@@ -82,9 +135,7 @@ func (s *Server) executeTrace(ctx context.Context, j *job, att int) ([]byte, err
 		}
 		offset := i * perPolicy
 		cfg.Progress = func(done, _ int) {
-			s.touch(j, att, func(st *JobStatus) {
-				st.Progress = Progress{Done: offset + done, Total: total, Unit: "merges"}
-			})
+			onProgress(Progress{Done: offset + done, Total: total, Unit: "merges"})
 		}
 		res, err := trace.Simulate(prog, pol, cfg)
 		if err != nil {

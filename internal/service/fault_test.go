@@ -413,8 +413,7 @@ func TestClientRetriesQueueFull(t *testing.T) {
 	var rejects atomic.Int32
 	outer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost && rejects.Add(1) <= 2 {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "%v", ErrQueueFull)
+			writeError(w, http.StatusServiceUnavailable, CodeQueueFull, time.Second, "%v", ErrQueueFull)
 			return
 		}
 		inner.ServeHTTP(w, r)

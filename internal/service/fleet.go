@@ -1,0 +1,341 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// WorkerLocal is the JobStatus.Worker attribution for attempts executed
+// by the coordinator's own pool, distinguishing them from registered
+// remote nodes (whose IDs are "w001", "w002", ...).
+const WorkerLocal = "local"
+
+// ErrUnknownWorker is returned by LeaseWork for an unregistered (or
+// forgotten) worker ID; the HTTP layer maps it to 404 so the node knows
+// to re-register — e.g. after the coordinator restarted.
+var ErrUnknownWorker = errors.New("service: unknown worker")
+
+// WorkerInfo is the coordinator's public record of a registered worker
+// node, returned by POST /v1/workers and listed by GET /v1/workers.
+type WorkerInfo struct {
+	// ID is the coordinator-assigned handle ("w001", ...) the node uses
+	// on every lease call; it is also the JobStatus.Worker attribution
+	// for attempts the node executes.
+	ID string `json:"id"`
+	// Name is the node's self-reported label (host name, pod name) —
+	// display metadata, not required to be unique.
+	Name string `json:"name,omitempty"`
+	// RegisteredMs / LastSeenMs are Unix-millisecond bookkeeping; no
+	// determinism guarantee, like every timing field in the repo.
+	RegisteredMs int64 `json:"registered_ms"`
+	LastSeenMs   int64 `json:"last_seen_ms"`
+	// Leased counts work units ever granted to the node (steals
+	// included); Completed and Failed count the outcomes it reported.
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+}
+
+// workerNode is the server-side registration record. Guarded by s.mu.
+type workerNode struct {
+	info WorkerInfo
+}
+
+// remoteLease ties a granted lease to the job attempt it fences.
+// Immutable after creation; the map holding it is guarded by s.mu.
+type remoteLease struct {
+	id  string
+	j   *job
+	att int    // the fencing token minted at grant time
+	wkr string // worker ID the unit was leased to
+}
+
+// LeaseGrant is the coordinator's answer to a successful lease request:
+// one work unit, its fencing token, and the heartbeat contract.
+type LeaseGrant struct {
+	// LeaseID names this lease on subsequent POST /v1/leases/{id} calls.
+	LeaseID string `json:"lease_id"`
+	// JobID / Key identify the unit; Spec is its full normalized spec,
+	// executable verbatim via ExecuteSpec.
+	JobID string  `json:"job_id"`
+	Key   string  `json:"key"`
+	Spec  JobSpec `json:"spec"`
+	// Attempt is the fencing token: reports from an older attempt of the
+	// same job are acknowledged Valid=false and (when they carry result
+	// bytes) integrity-checked rather than applied.
+	Attempt int `json:"attempt"`
+	// LeaseMs is the heartbeat deadline: the worker must report
+	// (heartbeat, progress, or completion) within this many milliseconds
+	// of every previous report or the watchdog reclaims the unit.
+	LeaseMs int64 `json:"lease_ms"`
+	// Stolen marks a tail work-steal: the unit is (nominally) still
+	// running elsewhere and this node is racing the straggler. Results
+	// are unaffected — the loser's bytes are integrity-checked, not
+	// stored twice.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// LeaseUpdate is a worker's report on a leased unit: a bare heartbeat,
+// a progress-carrying heartbeat, a completion with result bytes, or a
+// failure with an error message.
+type LeaseUpdate struct {
+	// Event is "heartbeat", "complete" or "fail".
+	Event string `json:"event"`
+	// Progress optionally accompanies a heartbeat.
+	Progress *Progress `json:"progress,omitempty"`
+	// Result carries the unit's canonical result bytes on "complete".
+	// (A []byte, not json.RawMessage: batch results are JSONL — multiple
+	// JSON documents — so they wire-encode as base64.)
+	Result []byte `json:"result,omitempty"`
+	// Error carries the failure message on "fail".
+	Error string `json:"error,omitempty"`
+}
+
+// LeaseAck answers a LeaseUpdate. Valid=false tells the worker its
+// lease no longer owns the job — expired, stolen and finished
+// elsewhere, canceled, or simply unknown — and it should abandon the
+// unit (dropping any partial work) and lease fresh work instead.
+type LeaseAck struct {
+	Valid bool `json:"valid"`
+}
+
+// RegisterWorker registers a worker node under a fresh ID. Names are
+// display metadata; re-registering (e.g. after losing the ID to a
+// coordinator restart... which forgets all registrations) just creates
+// a new record.
+func (s *Server) RegisterWorker(name string) (WorkerInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return WorkerInfo{}, ErrClosed
+	}
+	s.nextWkr++
+	now := time.Now().UnixMilli()
+	info := WorkerInfo{
+		ID:           fmt.Sprintf("w%03d", s.nextWkr),
+		Name:         name,
+		RegisteredMs: now,
+		LastSeenMs:   now,
+	}
+	s.workers[info.ID] = &workerNode{info: info}
+	return info, nil
+}
+
+// Workers lists every registered worker node in registration order.
+func (s *Server) Workers() []WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(s.workers))
+	for i := 1; i <= s.nextWkr; i++ {
+		if w, ok := s.workers[fmt.Sprintf("w%03d", i)]; ok {
+			out = append(out, w.info)
+		}
+	}
+	return out
+}
+
+// LeaseWork grants one work unit to the worker: the oldest runnable
+// queued job, or — when the queue is empty and stealing is enabled — a
+// duplicate of the oldest straggling campaign-batch attempt (one whose
+// lease was last renewed at least Options.StealAge ago, suggesting its
+// holder is slow or silently dead). A steal mints a fresh attempt
+// token, so whichever execution finishes second is fenced off and
+// byte-compared against the store instead of applied. Returns (nil,
+// nil) when there is nothing to lease.
+func (s *Server) LeaseWork(workerID string) (*LeaseGrant, error) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	w, ok := s.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownWorker, workerID)
+	}
+	w.info.LastSeenMs = now.UnixMilli()
+
+	// Queue first: pop the oldest runnable entry, exactly like the local
+	// pool's nextJob but non-blocking.
+	for len(s.pending) > 0 {
+		j := s.pending[0]
+		copy(s.pending, s.pending[1:])
+		s.pending[len(s.pending)-1] = nil
+		s.pending = s.pending[:len(s.pending)-1]
+		if att, ok := s.beginRemoteAttemptLocked(j, workerID, now, false); ok {
+			return s.grantLocked(w, j, att, false), nil
+		}
+	}
+
+	// Tail work-stealing: duplicate a straggling batch child.
+	if s.opts.StealAge < 0 {
+		return nil, nil
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if !j.child {
+			continue
+		}
+		j.mu.Lock()
+		stale := j.status.State == StateRunning &&
+			j.status.Worker != workerID &&
+			!now.Before(j.lease.Add(s.opts.StealAge-s.opts.Lease))
+		j.mu.Unlock()
+		if !stale {
+			continue
+		}
+		if att, ok := s.beginRemoteAttemptLocked(j, workerID, now, true); ok {
+			s.steals++
+			return s.grantLocked(w, j, att, true), nil
+		}
+	}
+	return nil, nil
+}
+
+// beginRemoteAttemptLocked transitions a job to running on a remote
+// worker and mints its attempt token. For a steal (running job) the
+// previous holder's cancel func is retained: a local straggler can
+// still be reclaimed by cancel/expiry, and a remote one holds no
+// context anyway. Caller holds s.mu.
+func (s *Server) beginRemoteAttemptLocked(j *job, workerID string, now time.Time, steal bool) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if steal {
+		if j.status.State != StateRunning {
+			return 0, false
+		}
+	} else if j.status.State != StateQueued {
+		return 0, false
+	}
+	j.status.State = StateRunning
+	j.status.Attempt++
+	j.status.Progress = Progress{}
+	j.status.Worker = workerID
+	j.lease = now.Add(s.opts.Lease)
+	j.broadcastLocked()
+	s.attempts++
+	return j.status.Attempt, true
+}
+
+// grantLocked mints the lease record for an attempt just begun.
+// Caller holds s.mu.
+func (s *Server) grantLocked(w *workerNode, j *job, att int, stolen bool) *LeaseGrant {
+	s.nextLease++
+	l := &remoteLease{
+		id:  fmt.Sprintf("l%06d", s.nextLease),
+		j:   j,
+		att: att,
+		wkr: w.info.ID,
+	}
+	s.leases[l.id] = l
+	w.info.Leased++
+	st := j.snapshot()
+	return &LeaseGrant{
+		LeaseID: l.id,
+		JobID:   st.ID,
+		Key:     j.res.key,
+		Spec:    j.res.spec,
+		Attempt: att,
+		LeaseMs: s.opts.Lease.Milliseconds(),
+		Stolen:  stolen,
+	}
+}
+
+// UpdateLease applies a worker's report on a leased unit. An unknown
+// lease ID is not an error — the coordinator may have garbage-collected
+// it, or restarted — the worker just learns Valid=false and moves on.
+// Completion reports route through exactly the machinery local
+// attempts use: store-then-transition on success, retry-or-fail on
+// failure, and the integrity cross-check for reports whose attempt
+// token was superseded (a stolen unit's straggler, an expired lease's
+// zombie). A mismatch there names the reporting worker in the
+// integrity_error, so a nondeterministic (or corrupting) node is
+// identifiable fleet-wide.
+func (s *Server) UpdateLease(leaseID string, u LeaseUpdate) (LeaseAck, error) {
+	now := time.Now()
+	s.mu.Lock()
+	l, ok := s.leases[leaseID]
+	if !ok {
+		s.mu.Unlock()
+		return LeaseAck{}, nil
+	}
+	w := s.workers[l.wkr]
+	if w != nil {
+		w.info.LastSeenMs = now.UnixMilli()
+	}
+	s.mu.Unlock()
+
+	j := l.j
+	switch u.Event {
+	case "heartbeat":
+		p := Progress{}
+		if u.Progress != nil {
+			p = *u.Progress
+		}
+		s.touch(j, l.att, p)
+		st := j.snapshot()
+		return LeaseAck{Valid: st.State == StateRunning && st.Attempt == l.att}, nil
+
+	case "complete":
+		s.resolveLease(leaseID)
+		j.mu.Lock()
+		owns := j.status.Attempt == l.att && !j.status.Terminal()
+		j.mu.Unlock()
+		if !owns {
+			if u.Result != nil {
+				s.integrityCheck(j, u.Result, l.wkr)
+			}
+			return LeaseAck{}, nil
+		}
+		s.countOutcome(l.wkr, true)
+		perr := s.store.Put(j.res.key, u.Result)
+		switch {
+		case perr == nil:
+			s.completeJob(j, l.att)
+		case errors.Is(perr, ErrStoreMismatch):
+			s.integrityFail(j, fmt.Errorf("worker %s: %w", l.wkr, perr))
+		default:
+			s.retryOrFail(j, l.att, "error", perr, now)
+		}
+		return LeaseAck{Valid: true}, nil
+
+	case "fail":
+		s.resolveLease(leaseID)
+		j.mu.Lock()
+		owns := j.status.Attempt == l.att && j.status.State == StateRunning
+		j.mu.Unlock()
+		if !owns {
+			return LeaseAck{}, nil
+		}
+		s.countOutcome(l.wkr, false)
+		msg := u.Error
+		if msg == "" {
+			msg = "worker reported failure without a message"
+		}
+		s.retryOrFail(j, l.att, "error", errors.New(msg), now)
+		return LeaseAck{Valid: true}, nil
+	}
+	return LeaseAck{}, fmt.Errorf("service: unknown lease event %q", u.Event)
+}
+
+// resolveLease retires a lease record once its worker has reported a
+// terminal outcome for it.
+func (s *Server) resolveLease(leaseID string) {
+	s.mu.Lock()
+	delete(s.leases, leaseID)
+	s.mu.Unlock()
+}
+
+// countOutcome tallies a completion or failure on the worker's record.
+func (s *Server) countOutcome(workerID string, completed bool) {
+	s.mu.Lock()
+	if w, ok := s.workers[workerID]; ok {
+		if completed {
+			w.info.Completed++
+		} else {
+			w.info.Failed++
+		}
+	}
+	s.mu.Unlock()
+}

@@ -17,14 +17,36 @@ var ErrQueueFull = errors.New("service: job queue is full")
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("service: server is shutting down")
 
+// QuotaError is returned by SubmitAs when per-tenant admission control
+// rejects a submission; the HTTP layer maps it to 429 with the
+// "quota_exceeded" envelope code and a Retry-After hint.
+type QuotaError struct {
+	// Tenant is the over-quota tenant; Limit its configured quota; Live
+	// its current live (queued + running) work units.
+	Tenant string
+	Limit  int
+	Live   int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q is over quota (%d live work units, limit %d)",
+		e.Tenant, e.Live, e.Limit)
+}
+
 // Options configures a Server. The zero value is usable: a memory-only
 // store, 2 queue workers, a 64-deep queue, and a private build cache.
 type Options struct {
 	// DataDir roots the content-addressed result store; "" keeps results
 	// in memory only (they die with the process).
 	DataDir string
+	// Store overrides the result-store backend; when set, DataDir is
+	// ignored. The built-in disk/memory store is the default; a
+	// RemoteStore chains this server to another coordinator's store.
+	Store StoreBackend
 	// Workers is the number of queue workers executing jobs concurrently
-	// (0 = 2). Results never depend on it.
+	// (0 = 2; negative = none — a coordinator-only server whose work is
+	// executed entirely by remote worker nodes). Results never depend on
+	// it.
 	Workers int
 	// QueueDepth bounds the number of accepted-but-unstarted jobs
 	// (0 = 64); submissions beyond it fail with ErrQueueFull. Requeues of
@@ -57,6 +79,19 @@ type Options struct {
 	// attempt; a job's spec TimeoutMs overrides it. Exceeding the bound
 	// fails the job with stop reason "timeout".
 	JobTimeout time.Duration
+	// TenantQuota, when > 0, bounds each tenant's live work units —
+	// queued and running jobs, campaign parents and every batch child
+	// each counting one. A submission that would exceed it is rejected
+	// with a *QuotaError (HTTP 429 + Retry-After); other tenants are
+	// unaffected. 0 disables admission control.
+	TenantQuota int
+	// StealAge tunes tail work-stealing: a remote lease request that
+	// finds the queue empty may duplicate a running campaign-batch
+	// attempt whose lease was last renewed at least StealAge ago,
+	// racing the (possibly straggling or silently dead) holder. The
+	// loser's completion is byte-compared against the store — stealing
+	// never changes results. 0 = Lease/2; negative disables stealing.
+	StealAge time.Duration
 	// Hooks are test-only fault-injection points (nil in production).
 	Hooks *Hooks
 	// Cache, when non-nil, is the shared build cache; otherwise the
@@ -69,6 +104,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers == 0 {
 		o.Workers = 2
+	}
+	if o.Workers < 0 {
+		o.Workers = 0 // coordinator-only: remote nodes do the executing
 	}
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 64
@@ -84,6 +122,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Lease == 0 {
 		o.Lease = 30 * time.Second
+	}
+	if o.StealAge == 0 {
+		o.StealAge = o.Lease / 2
 	}
 	if o.Cache == nil {
 		o.Cache = sweep.NewBuildCache()
@@ -107,11 +148,19 @@ type job struct {
 	status  JobStatus
 	changed chan struct{}
 	// cancel stops the current attempt's context (nil when no attempt is
-	// running). lease is the current attempt's heartbeat deadline,
+	// running, and for remote attempts — their reclamation is the lease
+	// expiring). lease is the current attempt's heartbeat deadline,
 	// renewed on every progress event; the watchdog reaps attempts past
 	// it.
 	cancel context.CancelFunc
 	lease  time.Time
+
+	// Immutable after registration.
+	child bool // a campaign batch child (exempt from QueueDepth)
+
+	// Guarded by s.mu (not j.mu): tenant accounting.
+	tenant   string // quota owner; "" = not charged (cache hits)
+	released bool   // tenant unit already returned (settle ran)
 }
 
 func newJob(id string, r *resolvedJob, state string, cacheHit bool) *job {
@@ -181,7 +230,7 @@ func (j *job) watch(ctx context.Context, fn func(JobStatus) error) (JobStatus, e
 // reverse.
 type Server struct {
 	opts  Options
-	store *Store
+	store StoreBackend
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals pending work; waiters re-check closed
@@ -191,33 +240,56 @@ type Server struct {
 	inflight map[string]*job // content key → live (queued/running) job
 	nextID   int
 	closed   bool
+	// Fleet state: registered worker nodes, live remote leases, campaign
+	// bookkeeping (campaign job ID → campaign; child job → number of
+	// live campaigns referencing it).
+	workers   map[string]*workerNode
+	leases    map[string]*remoteLease
+	nextWkr   int
+	nextLease int
+	campaigns map[string]*campaign
+	childRefs map[*job]int
+	tenants   map[string]int // tenant → live work units (quota)
 	// Counters (see Stats).
 	hits            int // submissions served straight from the store
 	attempts        int // execution attempts dispatched
 	requeues        int // crash-recovery requeues (panic, error, lease)
 	cancels         int // Cancel calls that stopped a live job
+	steals          int // tail work-steals (duplicated straggler attempts)
+	quotaRejects    int // submissions rejected by tenant quota
+	campaignsTotal  int // campaigns ever scheduled (cache hits excluded)
 	integrityChecks int // late-completion byte-compares performed
 	integrityErrs   int // byte-compares that found a mismatch
 
 	quit chan struct{}
 	wg   sync.WaitGroup
+	cwg  sync.WaitGroup // campaign monitor goroutines (waited after wg)
 }
 
 // New starts a server: it opens the store and launches the worker pool
 // and the lease watchdog.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	store, err := OpenStore(opts.DataDir)
-	if err != nil {
-		return nil, err
+	backend := opts.Store
+	if backend == nil {
+		store, err := OpenStore(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		store.hooks = opts.Hooks
+		backend = store
 	}
-	store.hooks = opts.Hooks
 	s := &Server{
-		opts:     opts,
-		store:    store,
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		quit:     make(chan struct{}),
+		opts:      opts,
+		store:     backend,
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		workers:   make(map[string]*workerNode),
+		leases:    make(map[string]*remoteLease),
+		campaigns: make(map[string]*campaign),
+		childRefs: make(map[*job]int),
+		tenants:   make(map[string]int),
+		quit:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < opts.Workers; w++ {
@@ -229,26 +301,48 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Store exposes the server's result store (read-mostly: the HTTP layer
-// serves GET /v1/results/{key} straight from it).
-func (s *Server) Store() *Store { return s.store }
+// Store exposes the server's result-store backend (read-mostly: the
+// HTTP layer serves GET /v1/results/{key} straight from it).
+func (s *Server) Store() StoreBackend { return s.store }
 
-// Submit resolves, deduplicates and enqueues a job, returning its
-// initial status:
+// Submit resolves, deduplicates and enqueues a job for the default
+// tenant; see SubmitAs.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitAs(spec, "")
+}
+
+// normTenant maps the wire tenant ("" allowed) to the accounting key.
+func normTenant(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// SubmitAs resolves, deduplicates and enqueues a job on behalf of a
+// tenant ("" = "default"), returning its initial status:
 //
 //   - a result already in the store answers immediately with a done,
-//     cache-hit job (no work queued);
+//     cache-hit job (no work queued, no quota charged);
 //   - an identical job still in flight coalesces — the same JobStatus
 //     (same ID) is returned to both submitters;
+//   - a submission that would push the tenant past Options.TenantQuota
+//     fails with *QuotaError;
 //   - otherwise the job enters the bounded queue, or ErrQueueFull.
+//
+// Campaign specs are scheduled rather than queued: the grid's batches
+// become child jobs (deduplicated like any submission — shared or
+// already-stored batches are not recomputed) and the returned status is
+// the campaign parent's, observable like any job.
 //
 // Spec errors are reported as *SpecError so transports can distinguish
 // a bad request from server trouble.
-func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+func (s *Server) SubmitAs(spec JobSpec, tenant string) (JobStatus, error) {
 	r, err := spec.resolve()
 	if err != nil {
 		return JobStatus{}, &SpecError{Err: err}
 	}
+	tenant = normTenant(tenant)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,29 +363,62 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	} else if ok {
 		j := s.addJobLocked(r, StateDone, true)
 		j.status.DoneMs = time.Now().UnixMilli()
+		j.status.Tenant = tenant
 		s.hits++
 		return j.snapshot(), nil
 	}
+	if spec.Type == "campaign" {
+		return s.submitCampaignLocked(r, tenant)
+	}
+	if err := s.chargeTenantLocked(tenant, 1); err != nil {
+		return JobStatus{}, err
+	}
 	if s.freshQueuedLocked() >= s.opts.QueueDepth {
+		s.refundTenantLocked(tenant, 1)
 		return JobStatus{}, ErrQueueFull
 	}
 	j := s.addJobLocked(r, StateQueued, false)
+	j.tenant = tenant
+	j.status.Tenant = tenant
 	s.pending = append(s.pending, j)
 	s.inflight[r.key] = j
 	s.cond.Signal()
 	return j.snapshot(), nil
 }
 
+// chargeTenantLocked admits units more live work units for the tenant,
+// or rejects with *QuotaError when the quota would be exceeded. Caller
+// holds s.mu.
+func (s *Server) chargeTenantLocked(tenant string, units int) error {
+	if q := s.opts.TenantQuota; q > 0 && s.tenants[tenant]+units > q {
+		s.quotaRejects++
+		return &QuotaError{Tenant: tenant, Limit: q, Live: s.tenants[tenant]}
+	}
+	s.tenants[tenant] += units
+	return nil
+}
+
+// refundTenantLocked returns units to the tenant's budget. Caller holds
+// s.mu.
+func (s *Server) refundTenantLocked(tenant string, units int) {
+	if n := s.tenants[tenant] - units; n > 0 {
+		s.tenants[tenant] = n
+	} else {
+		delete(s.tenants, tenant)
+	}
+}
+
 // freshQueuedLocked counts pending jobs that have never run — the
 // population the QueueDepth bound applies to. Canceled-but-undrained
-// entries and crash-recovery requeues (Attempt ≥ 1) are exempt, so
-// cancellation frees queue room immediately and recovery can't be
-// starved by a full queue. Caller holds s.mu.
+// entries, crash-recovery requeues (Attempt ≥ 1) and campaign batch
+// children (admitted by the tenant quota, not the queue bound) are
+// exempt, so cancellation frees queue room immediately and recovery
+// can't be starved by a full queue. Caller holds s.mu.
 func (s *Server) freshQueuedLocked() int {
 	n := 0
 	for _, j := range s.pending {
 		j.mu.Lock()
-		if j.status.State == StateQueued && j.status.Attempt == 0 {
+		if j.status.State == StateQueued && j.status.Attempt == 0 && !j.child {
 			n++
 		}
 		j.mu.Unlock()
@@ -318,6 +445,7 @@ func (s *Server) addJobLocked(r *resolvedJob, state string, cacheHit bool) *job 
 			}
 			if s.jobs[old].snapshot().Terminal() {
 				delete(s.jobs, old)
+				delete(s.campaigns, old)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -382,11 +510,19 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
+	return s.cancelJob(j), true
+}
+
+// cancelJob performs the cancel transition on a job (idempotent on
+// terminal jobs). Canceling a campaign parent settles its children too:
+// the monitor goroutine observes the parent's transition and cancels
+// every child no other live campaign still references.
+func (s *Server) cancelJob(j *job) JobStatus {
 	j.mu.Lock()
 	if j.status.Terminal() {
 		st := j.status
 		j.mu.Unlock()
-		return st, true
+		return st
 	}
 	cancel := j.cancel
 	j.status.State = StateCanceled
@@ -400,11 +536,9 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 	}
 	s.mu.Lock()
 	s.cancels++
-	if s.inflight[j.res.key] == j {
-		delete(s.inflight, j.res.key)
-	}
 	s.mu.Unlock()
-	return st, true
+	s.settle(j)
+	return st
 }
 
 // Stats is the server-level counter snapshot of GET /v1/stats.
@@ -433,6 +567,17 @@ type Stats struct {
 	IntegrityChecks   int `json:"integrity_checks"`
 	IntegrityFailures int `json:"integrity_failures"`
 	StoreCorruptions  int `json:"store_corruptions"`
+	// Fleet counters. Workers counts registered worker nodes;
+	// ActiveLeases counts remote attempts currently leased out; Steals
+	// counts tail work-steals (straggler attempts duplicated to an idle
+	// node); Campaigns counts campaigns ever scheduled (store hits
+	// excluded); QuotaRejections counts submissions refused by tenant
+	// admission control.
+	Workers         int `json:"workers"`
+	ActiveLeases    int `json:"active_leases"`
+	Steals          int `json:"steals"`
+	Campaigns       int `json:"campaigns"`
+	QuotaRejections int `json:"quota_rejections"`
 	// StoreHits counts submissions answered from the result store;
 	// StorePuts counts results written by this process.
 	StoreHits int `json:"store_hits"`
@@ -454,6 +599,18 @@ func (s *Server) Stats() Stats {
 	st.Cancellations = s.cancels
 	st.IntegrityChecks = s.integrityChecks
 	st.IntegrityFailures = s.integrityErrs
+	st.Workers = len(s.workers)
+	st.Steals = s.steals
+	st.Campaigns = s.campaignsTotal
+	st.QuotaRejections = s.quotaRejects
+	for _, l := range s.leases {
+		// A lease is active while its attempt still owns the job; records
+		// of superseded or finished attempts linger only until the
+		// watchdog's garbage sweep.
+		if ls := l.j.snapshot(); ls.State == StateRunning && ls.Attempt == l.att {
+			st.ActiveLeases++
+		}
+	}
 	for _, id := range s.order {
 		switch s.jobs[id].snapshot().State {
 		case StateQueued:
@@ -477,8 +634,12 @@ func (s *Server) Stats() Stats {
 }
 
 // Close stops the server: no new submissions are accepted, running
-// attempts finish (Close does not cancel them), and jobs still queued
-// are failed with ErrClosed's message and stop reason "shutdown".
+// local attempts finish (Close does not cancel them), and jobs still
+// queued are failed with ErrClosed's message and stop reason
+// "shutdown". Jobs still running once the local pool has drained are
+// necessarily remote-leased attempts or campaign parents — neither can
+// make progress on a closed server, so they are failed the same way,
+// which in turn unblocks every campaign monitor before Close returns.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -496,6 +657,13 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	pending := s.pending
 	s.pending = nil
+	var running []*job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.snapshot().State == StateRunning {
+			running = append(running, j)
+		}
+	}
 	s.mu.Unlock()
 	now := time.Now().UnixMilli()
 	for _, j := range pending {
@@ -508,8 +676,28 @@ func (s *Server) Close() {
 			j.broadcastLocked()
 		}
 		j.mu.Unlock()
-		s.releaseInflight(j)
+		s.settle(j)
 	}
+	for _, j := range running {
+		j.mu.Lock()
+		if j.status.State == StateRunning {
+			cancel := j.cancel
+			j.cancel = nil
+			j.status.State = StateFailed
+			j.status.Error = ErrClosed.Error()
+			j.status.StopReason = StopReasonShutdown
+			j.status.DoneMs = now
+			j.broadcastLocked()
+			j.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		} else {
+			j.mu.Unlock()
+		}
+		s.settle(j)
+	}
+	s.cwg.Wait()
 }
 
 // worker drains the pending queue until Close.
@@ -573,16 +761,33 @@ func (s *Server) watchdog() {
 }
 
 // reapExpired scans running jobs and expires those past their lease.
+// Campaign parents are skipped — they hold no lease (their liveness is
+// their children's), and their terminal transitions belong to the
+// campaign monitor. The sweep also garbage-collects remote lease
+// records whose job has been terminal for over a lease period: kept
+// that long so a straggler's late completion still reaches the
+// integrity cross-check, dropped after so a long-lived coordinator's
+// lease table stays flat.
 func (s *Server) reapExpired(now time.Time) {
 	s.mu.Lock()
 	var expired []*job
 	for _, id := range s.order {
 		j := s.jobs[id]
+		if j.res.spec.Type == "campaign" {
+			continue
+		}
 		j.mu.Lock()
 		if j.status.State == StateRunning && now.After(j.lease) {
 			expired = append(expired, j)
 		}
 		j.mu.Unlock()
+	}
+	grace := s.opts.Lease.Milliseconds()
+	for id, l := range s.leases {
+		st := l.j.snapshot()
+		if st.Terminal() && st.DoneMs > 0 && now.UnixMilli()-st.DoneMs > grace {
+			delete(s.leases, id)
+		}
 	}
 	s.mu.Unlock()
 	for _, j := range expired {
@@ -605,11 +810,16 @@ func (s *Server) expireAttempt(j *job, now time.Time) {
 	j.cancel = nil
 	j.status.Failures = append(j.status.Failures, AttemptFailure{
 		Attempt: att, Reason: "lease_expired", AtMs: now.UnixMilli(),
+		Worker: j.status.Worker,
 	})
-	terminal := att >= s.opts.MaxAttempts
+	// Failures, not attempts, exhaust the retry budget: a work-steal
+	// mints a fresh attempt token without consuming it, so a stolen job
+	// still gets its full MaxAttempts of real failures.
+	terminal := len(j.status.Failures) >= s.opts.MaxAttempts
 	if terminal {
 		j.status.State = StateFailed
-		j.status.Error = fmt.Sprintf("attempt %d/%d missed its heartbeat lease", att, s.opts.MaxAttempts)
+		j.status.Error = fmt.Sprintf("attempt %d (failure %d/%d) missed its heartbeat lease",
+			att, len(j.status.Failures), s.opts.MaxAttempts)
 		j.status.StopReason = StopReasonMaxAttempts
 		j.status.DoneMs = now.UnixMilli()
 	} else {
@@ -622,7 +832,7 @@ func (s *Server) expireAttempt(j *job, now time.Time) {
 		cancel()
 	}
 	if terminal {
-		s.releaseInflight(j)
+		s.settle(j)
 		return
 	}
 	s.requeue(j)
@@ -644,14 +854,22 @@ func (s *Server) requeue(j *job) {
 	s.mu.Unlock()
 }
 
-// releaseInflight frees the dedup slot if j still owns it, always after
-// the terminal transition (and, for done jobs, after the store write)
-// so a coalescing submission either joins the live job or hits the
-// stored result — never reruns a completed spec.
-func (s *Server) releaseInflight(j *job) {
+// settle finalizes a job's server-side accounting after its terminal
+// transition: the in-flight dedup slot is freed (always after the
+// transition — and, for done jobs, after the store write — so a
+// coalescing submission either joins the live job or hits the stored
+// result, never reruns a completed spec), and the tenant's quota unit
+// is returned exactly once however many terminal paths race.
+func (s *Server) settle(j *job) {
 	s.mu.Lock()
 	if s.inflight[j.res.key] == j {
 		delete(s.inflight, j.res.key)
+	}
+	if !j.released {
+		j.released = true
+		if j.tenant != "" {
+			s.refundTenantLocked(j.tenant, 1)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -701,6 +919,7 @@ func (s *Server) beginAttempt(j *job) (att int, ctx context.Context, cancel cont
 	j.status.State = StateRunning
 	j.status.Attempt++
 	j.status.Progress = Progress{}
+	j.status.Worker = WorkerLocal
 	att = j.status.Attempt
 	j.cancel = cancel
 	j.lease = time.Now().Add(s.opts.Lease)
@@ -715,16 +934,21 @@ func (s *Server) beginAttempt(j *job) (att int, ctx context.Context, cancel cont
 // touch applies a progress update for attempt att and renews its lease.
 // Stale attempts (superseded, expired or terminal) are fenced off, so a
 // zombie worker can neither roll a retried job's progress back nor keep
-// a dead lease alive.
-func (s *Server) touch(j *job, att int, fn func(*JobStatus)) {
+// a dead lease alive. Progress is monotone: a report that doesn't
+// advance Done still renews the lease (it proves liveness — remote
+// heartbeats carry no progress at all) but isn't broadcast, so watchers
+// only wake on real movement.
+func (s *Server) touch(j *job, att int, p Progress) {
 	j.mu.Lock()
 	if j.status.Attempt != att || j.status.State != StateRunning {
 		j.mu.Unlock()
 		return
 	}
 	j.lease = time.Now().Add(s.opts.Lease)
-	fn(&j.status)
-	j.broadcastLocked()
+	if p.Done > j.status.Progress.Done {
+		j.status.Progress = p
+		j.broadcastLocked()
+	}
 	j.mu.Unlock()
 }
 
@@ -743,7 +967,7 @@ func (s *Server) finishAttempt(j *job, att int, ctx context.Context, data []byte
 
 	if !owns {
 		if data != nil && err == nil {
-			s.integrityCheck(j, data)
+			s.integrityCheck(j, data, WorkerLocal)
 		}
 		return
 	}
@@ -792,7 +1016,7 @@ func (s *Server) completeJob(j *job, att int) {
 	j.status.DoneMs = time.Now().UnixMilli()
 	j.broadcastLocked()
 	j.mu.Unlock()
-	s.releaseInflight(j)
+	s.settle(j)
 }
 
 // timeoutJob ends a job whose attempt exceeded its wall-time bound.
@@ -811,7 +1035,7 @@ func (s *Server) timeoutJob(j *job, att int, now time.Time) {
 	j.status.DoneMs = now.UnixMilli()
 	j.broadcastLocked()
 	j.mu.Unlock()
-	s.releaseInflight(j)
+	s.settle(j)
 }
 
 // retryOrFail records a failed attempt and either requeues the job or,
@@ -825,11 +1049,13 @@ func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time
 	j.cancel = nil
 	j.status.Failures = append(j.status.Failures, AttemptFailure{
 		Attempt: att, Reason: reason, Error: err.Error(), AtMs: now.UnixMilli(),
+		Worker: j.status.Worker,
 	})
-	terminal := att >= s.opts.MaxAttempts
+	terminal := len(j.status.Failures) >= s.opts.MaxAttempts
 	if terminal {
 		j.status.State = StateFailed
-		j.status.Error = fmt.Sprintf("attempt %d/%d: %s: %v", att, s.opts.MaxAttempts, reason, err)
+		j.status.Error = fmt.Sprintf("attempt %d (failure %d/%d): %s: %v",
+			att, len(j.status.Failures), s.opts.MaxAttempts, reason, err)
 		j.status.StopReason = StopReasonMaxAttempts
 		j.status.DoneMs = now.UnixMilli()
 	} else {
@@ -839,7 +1065,7 @@ func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time
 	j.broadcastLocked()
 	j.mu.Unlock()
 	if terminal {
-		s.releaseInflight(j)
+		s.settle(j)
 		return
 	}
 	s.requeue(j)
@@ -848,14 +1074,16 @@ func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time
 // integrityCheck byte-compares a late completion's result against the
 // store. Determinism says they must match; a mismatch flips the job to
 // integrity_error — even a job already marked done, because the service
-// can no longer vouch for which bytes are canonical.
-func (s *Server) integrityCheck(j *job, data []byte) {
+// can no longer vouch for which bytes are canonical. worker names the
+// source of the late bytes ("local" or a worker ID) so a cross-node
+// mismatch identifies the offending box.
+func (s *Server) integrityCheck(j *job, data []byte, worker string) {
 	s.mu.Lock()
 	s.integrityChecks++
 	s.mu.Unlock()
 	err := s.store.Put(j.res.key, data)
 	if errors.Is(err, ErrStoreMismatch) {
-		s.integrityFail(j, err)
+		s.integrityFail(j, fmt.Errorf("late completion from worker %s: %w", worker, err))
 	}
 }
 
@@ -879,7 +1107,7 @@ func (s *Server) integrityFail(j *job, err error) {
 	s.mu.Lock()
 	s.integrityErrs++
 	s.mu.Unlock()
-	s.releaseInflight(j)
+	s.settle(j)
 }
 
 // SpecError marks a submission rejected for a malformed or invalid

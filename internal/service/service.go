@@ -77,15 +77,23 @@ const (
 	StopReasonShutdown    = "shutdown"
 )
 
-// JobSpec is the submission body of POST /v1/jobs: exactly one of Sweep
-// or Trace must be set, matching Type.
+// JobSpec is the submission body of POST /v1/jobs: exactly one of
+// Sweep, Trace, Batch or Campaign must be set, matching Type.
 type JobSpec struct {
-	// Type selects the job kind: "sweep" or "trace".
+	// Type selects the job kind: "sweep", "trace", "batch" or
+	// "campaign".
 	Type string `json:"type"`
 	// Sweep configures a single sweep-point job (Type "sweep").
 	Sweep *SweepJob `json:"sweep,omitempty"`
 	// Trace configures a trace-simulation job (Type "trace").
 	Trace *TraceJob `json:"trace,omitempty"`
+	// Batch configures a multi-point work unit (Type "batch") — the
+	// leased unit of a campaign, also submittable directly.
+	Batch *BatchJob `json:"batch,omitempty"`
+	// Campaign configures a whole sweep-grid campaign (Type "campaign"),
+	// scheduled by the coordinator as batch children. POST /v1/campaigns
+	// accepts the CampaignJob directly.
+	Campaign *CampaignJob `json:"campaign,omitempty"`
 	// TimeoutMs, when > 0, bounds each execution attempt's wall time;
 	// exceeding it ends the job with state "failed" and stop reason
 	// "timeout". It overrides the server's default job timeout. Like
@@ -177,9 +185,65 @@ type TraceJob struct {
 	Seed  uint64 `json:"seed,omitempty"`
 }
 
+// BatchJob is a set of sweep points executed as one work unit (Type
+// "batch"): the leased quantum of a campaign, sized so a worker node
+// amortizes its build cache across neighboring grid points. Its result
+// is the concatenation of each point's canonical sweep.Record JSON
+// line (newline-terminated JSONL), in the listed order.
+type BatchJob struct {
+	// Points are the sweep points, each with full SweepJob semantics
+	// (at least one, at most maxBatchPoints).
+	Points []SweepJob `json:"points"`
+}
+
+// maxBatchPoints bounds one batch; campaigns are bounded separately by
+// maxCampaignPoints.
+const maxBatchPoints = 4096
+
+// CampaignJob is a whole sweep campaign (Type "campaign"): the same
+// string-typed grid axes `latticesim sweep` takes, expanded by the
+// coordinator into canonical-order point batches that workers execute
+// as leased units. Its result is the concatenation of every point's
+// canonical record line in canonical grid order — byte-identical to
+// `latticesim sweep -json` for the same grid, shots and seed,
+// independent of batch size, worker count and work-stealing.
+type CampaignJob struct {
+	// Hardware is the profile name ("" = IBM); ScaleNs > 0 scales it so
+	// the base cycle equals this many ns.
+	Hardware string  `json:"hardware,omitempty"`
+	ScaleNs  float64 `json:"scale_ns,omitempty"`
+	// Grid axes, comma-separated lists with `latticesim sweep` semantics
+	// and defaults (empty = axis default).
+	Policies      string  `json:"policies,omitempty"`
+	Distances     string  `json:"distances,omitempty"`
+	TausNs        string  `json:"taus_ns,omitempty"`
+	ErrorRates    string  `json:"error_rates,omitempty"`
+	Bases         string  `json:"bases,omitempty"`
+	CyclePNs      float64 `json:"cycle_p_ns,omitempty"`
+	CyclePPrimeNs string  `json:"cycle_pprime_ns,omitempty"`
+	EpsNs         int64   `json:"eps_ns,omitempty"`
+	// Shots per point (0 = 40000) and the campaign seed (0 = 0xC0FFEE);
+	// both feed every point's content address.
+	Shots int    `json:"shots,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// BatchPoints is the number of grid points per leased work unit
+	// (0 = 16). Like worker counts it is an execution parameter, not
+	// physics: the campaign's content address and aggregate bytes are
+	// independent of it.
+	BatchPoints int `json:"batch_points,omitempty"`
+}
+
+// DefaultBatchPoints is the campaign batch size when BatchPoints is 0.
+const DefaultBatchPoints = 16
+
+// maxCampaignPoints bounds campaign expansion (the grid grammar already
+// enforces its own ceiling; this keeps the per-campaign child count and
+// aggregate size sane for a serving process).
+const maxCampaignPoints = 1 << 16
+
 // Progress reports a job's completion fraction in its native unit:
 // "shots" for sweep jobs, "merges" (summed across policies) for trace
-// jobs.
+// jobs, "points" for batch and campaign jobs.
 type Progress struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
@@ -204,6 +268,13 @@ type JobStatus struct {
 	// produced the terminal state); 0 while the job has never been
 	// dispatched. Progress resets at the start of every attempt.
 	Attempt int `json:"attempt,omitempty"`
+	// Worker names the holder of the current (or last) attempt: "local"
+	// for the server's own pool, the registered worker name for a leased
+	// remote attempt, empty while never dispatched.
+	Worker string `json:"worker,omitempty"`
+	// Tenant is the submitting tenant (the X-Tenant header; "default"
+	// when unset). Quotas and admission control are per tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Failures records every attempt that did not complete — panics,
 	// execution errors, and expired leases — in order. A job retried to
 	// success keeps its failure history, so clients can see the recovery.
@@ -237,6 +308,9 @@ type AttemptFailure struct {
 	Reason string `json:"reason"`
 	// Error is the underlying message, when there is one.
 	Error string `json:"error,omitempty"`
+	// Worker names the node whose attempt failed ("local" for the
+	// server's own pool), so fleet operators can spot a bad box.
+	Worker string `json:"worker,omitempty"`
 	// AtMs is when the failure was recorded (Unix milliseconds; carries
 	// no determinism guarantee).
 	AtMs int64 `json:"at_unix_ms,omitempty"`
@@ -265,13 +339,29 @@ type resolvedJob struct {
 	tcfg trace.Config
 	pols []core.Policy
 
+	// Batch and campaign jobs: the member points in canonical order,
+	// each itself a resolved sweep unit. batch is the campaign's
+	// points-per-child size (execution parameter, not physics).
+	units []*resolvedJob
+	batch int
+
 	// timeout bounds each execution attempt (0 = use the server default).
 	// Deliberately absent from canonical: timeouts shape execution, not
 	// results.
 	timeout time.Duration
 
+	// canonical is canonicalHeader()+body; the content key hashes it.
+	// body is kept separately so composite jobs (batch, campaign) can
+	// splice member descriptors without nesting headers.
 	canonical string
+	body      string
 	key       string
+}
+
+// canonicalHeader versions every canonical descriptor (and hence every
+// content address).
+func canonicalHeader() string {
+	return fmt.Sprintf("latticesim-result-v%d\n", resultSchemaVersion)
 }
 
 // resolveHW maps a profile name + scale to a concrete hardware config.
@@ -316,17 +406,27 @@ func (s JobSpec) resolve() (*resolvedJob, error) {
 	var err error
 	switch s.Type {
 	case "sweep":
-		if s.Sweep == nil || s.Trace != nil {
+		if s.Sweep == nil || s.Trace != nil || s.Batch != nil || s.Campaign != nil {
 			return nil, fmt.Errorf("type %q requires exactly the sweep field", s.Type)
 		}
 		r, err = resolveSweep(*s.Sweep)
 	case "trace":
-		if s.Trace == nil || s.Sweep != nil {
+		if s.Trace == nil || s.Sweep != nil || s.Batch != nil || s.Campaign != nil {
 			return nil, fmt.Errorf("type %q requires exactly the trace field", s.Type)
 		}
 		r, err = resolveTrace(*s.Trace)
+	case "batch":
+		if s.Batch == nil || s.Sweep != nil || s.Trace != nil || s.Campaign != nil {
+			return nil, fmt.Errorf("type %q requires exactly the batch field", s.Type)
+		}
+		r, err = resolveBatch(*s.Batch)
+	case "campaign":
+		if s.Campaign == nil || s.Sweep != nil || s.Trace != nil || s.Batch != nil {
+			return nil, fmt.Errorf("type %q requires exactly the campaign field", s.Type)
+		}
+		r, err = resolveCampaign(*s.Campaign)
 	default:
-		return nil, fmt.Errorf("unknown job type %q (sweep or trace)", s.Type)
+		return nil, fmt.Errorf("unknown job type %q (sweep, trace, batch or campaign)", s.Type)
 	}
 	if err != nil {
 		return nil, err
@@ -424,16 +524,17 @@ func resolveSweep(j SweepJob) (*resolvedJob, error) {
 	// canonical point key (which embeds the full hardware fingerprint,
 	// so ScaleNs needs no separate line) plus the execution parameters
 	// that feed the record.
-	r.canonical = fmt.Sprintf("latticesim-result-v%d\ntype=sweep\npoint=%s\nseed=%d\nshots=%d\n",
-		resultSchemaVersion, pt.Key(), cfg.Seed, cfg.Shots)
+	r.body = fmt.Sprintf("type=sweep\npoint=%s\nseed=%d\nshots=%d\n",
+		pt.Key(), cfg.Seed, cfg.Shots)
 	if adaptive {
 		// Every resolved parameter that can change the record is part of
 		// the address. Increment is deliberately absent: the checkpoint
 		// ladder makes grants independent of the execution chunk size
 		// (DESIGN.md §12).
-		r.canonical += fmt.Sprintf("adaptive=1\ntarget-rci=%g\nmin-shots=%d\nmax-shots=%d\nrare-p=%g\nboost=%g\nz=%g\n",
+		r.body += fmt.Sprintf("adaptive=1\ntarget-rci=%g\nmin-shots=%d\nmax-shots=%d\nrare-p=%g\nboost=%g\nz=%g\n",
 			acfg.TargetRCI, acfg.MinShots, acfg.MaxShots, acfg.RareP, acfg.Boost, acfg.Z)
 	}
+	r.canonical = canonicalHeader() + r.body
 	r.key = contentKey(r.canonical)
 	return r, nil
 }
@@ -524,12 +625,124 @@ func resolveTrace(j TraceJob) (*resolvedJob, error) {
 		Basis: basis.String(), EpsNs: cfg.EpsNs, MaxZ: cfg.MaxZ,
 		StaggerNs: cfg.StaggerNs, Shots: cfg.Shots, Seed: cfg.Seed,
 	}}
-	r.canonical = fmt.Sprintf("latticesim-result-v%d\ntype=trace\nhw=%s\nd=%d\np=%s\nbasis=%s\neps=%d\nmaxz=%d\nstagger=%d\nshots=%d\nseed=%d\npolicies=%s\ntrace:\n%s",
-		resultSchemaVersion, sweep.HardwareKey(hw), cfg.D,
+	r.body = fmt.Sprintf("type=trace\nhw=%s\nd=%d\np=%s\nbasis=%s\neps=%d\nmaxz=%d\nstagger=%d\nshots=%d\nseed=%d\npolicies=%s\ntrace:\n%s",
+		sweep.HardwareKey(hw), cfg.D,
 		strconv.FormatFloat(cfg.P, 'g', -1, 64), basis.String(),
 		cfg.EpsNs, cfg.MaxZ, stagger, cfg.Shots, cfg.Seed,
 		strings.Join(names, ","), text)
+	r.canonical = canonicalHeader() + r.body
 	r.key = contentKey(r.canonical)
+	return r, nil
+}
+
+// resolveBatch resolves each member point and splices their canonical
+// bodies into one composite descriptor, so a batch's content address is
+// a pure function of its points (order included — batches are cut from
+// the canonical grid order, which the aggregate bytes depend on).
+func resolveBatch(j BatchJob) (*resolvedJob, error) {
+	if len(j.Points) == 0 {
+		return nil, fmt.Errorf("batch job needs at least one point")
+	}
+	if len(j.Points) > maxBatchPoints {
+		return nil, fmt.Errorf("batch of %d points exceeds the %d bound", len(j.Points), maxBatchPoints)
+	}
+	units := make([]*resolvedJob, len(j.Points))
+	for i, p := range j.Points {
+		u, err := resolveSweep(p)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		units[i] = u
+	}
+	return compositeResolved("batch", units), nil
+}
+
+// compositeResolved assembles a batch or campaign resolvedJob from its
+// resolved member units. The canonical descriptor concatenates the unit
+// bodies (each already carrying the frozen point key, seed and shots),
+// so the composite's content address depends only on the physics — not
+// on batch size or any other execution parameter.
+func compositeResolved(kind string, units []*resolvedJob) *resolvedJob {
+	r := &resolvedJob{units: units}
+	var b strings.Builder
+	fmt.Fprintf(&b, "type=%s\nunits=%d\n", kind, len(units))
+	points := make([]SweepJob, len(units))
+	for i, u := range units {
+		b.WriteString(u.body)
+		points[i] = *u.spec.Sweep
+	}
+	r.body = b.String()
+	r.canonical = canonicalHeader() + r.body
+	r.key = contentKey(r.canonical)
+	if kind == "batch" {
+		r.spec = JobSpec{Type: "batch", Batch: &BatchJob{Points: points}}
+	}
+	return r
+}
+
+// resolveCampaign expands the grid through the shared GridSpec grammar
+// into canonical-order points, resolves each as a sweep unit, and
+// derives the campaign's content address from the units alone —
+// BatchPoints shapes scheduling, never bytes.
+func resolveCampaign(j CampaignJob) (*resolvedJob, error) {
+	grid, err := sweep.ParseGridSpec(sweep.GridSpec{
+		Hardware: j.Hardware, ScaleNs: j.ScaleNs,
+		Policies: j.Policies, Distances: j.Distances, TausNs: j.TausNs,
+		ErrorRates: j.ErrorRates, Bases: j.Bases,
+		CyclePNs: j.CyclePNs, CyclePPrimeNs: j.CyclePPrimeNs, EpsNs: j.EpsNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts, err := grid.Points()
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) > maxCampaignPoints {
+		return nil, fmt.Errorf("campaign of %d points exceeds the %d bound", len(pts), maxCampaignPoints)
+	}
+	if j.Shots < 0 {
+		return nil, fmt.Errorf("shots %d must be ≥ 0", j.Shots)
+	}
+	if j.BatchPoints < 0 {
+		return nil, fmt.Errorf("batch_points %d must be ≥ 0", j.BatchPoints)
+	}
+	cfg := sweep.Config{Shots: j.Shots, Seed: j.Seed}.WithDefaults()
+	units := make([]*resolvedJob, len(pts))
+	for i, pt := range pts {
+		// Rebuild each point as a SweepJob so units resolve through the
+		// same normalization (and to the same content keys) a standalone
+		// submission of the point would. The point's cycle times are
+		// already resolved, so they pass through explicitly.
+		u, err := resolveSweep(SweepJob{
+			Hardware: pt.HW.Name, ScaleNs: j.ScaleNs,
+			Policy: pt.Policy.String(), D: pt.D, TauNs: pt.TauNs, P: pt.P,
+			Basis: pt.Basis.String(), CyclePNs: pt.CyclePNs,
+			CyclePPrimeNs: pt.CyclePPrimeNs, EpsNs: pt.EpsNs,
+			Shots: cfg.Shots, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("grid point %d (%s): %w", i, pt.Key(), err)
+		}
+		units[i] = u
+	}
+	r := compositeResolved("campaign", units)
+	r.batch = j.BatchPoints
+	if r.batch == 0 {
+		r.batch = DefaultBatchPoints
+	}
+	// The echo normalizes the axis lists (trimmed, comma-joined) and the
+	// resolved defaults, and must round-trip: resubmitting it parses to
+	// the same grid, the same points, the same key.
+	norm := func(s string) string { return strings.Join(sweep.SplitList(s), ",") }
+	r.spec = JobSpec{Type: "campaign", Campaign: &CampaignJob{
+		Hardware: grid.HW.Name, ScaleNs: j.ScaleNs,
+		Policies: norm(j.Policies), Distances: norm(j.Distances),
+		TausNs: norm(j.TausNs), ErrorRates: norm(j.ErrorRates),
+		Bases: norm(j.Bases), CyclePNs: j.CyclePNs,
+		CyclePPrimeNs: norm(j.CyclePPrimeNs), EpsNs: j.EpsNs,
+		Shots: cfg.Shots, Seed: cfg.Seed, BatchPoints: r.batch,
+	}}
 	return r, nil
 }
 

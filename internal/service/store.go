@@ -19,6 +19,26 @@ import (
 // server surfaces it as an integrity_error rather than picking a winner.
 var ErrStoreMismatch = errors.New("service: store: bytes differ for existing key")
 
+// StoreBackend is the content-addressed result store a Server reads and
+// writes. The built-in *Store (disk or memory, below) is the default;
+// RemoteStore proxies through another coordinator's HTTP API, and any
+// future backend (shared blob storage) slots in via Options.Store. The
+// contract every backend must honor:
+//
+//   - Get returns (data, true, nil) for a stored key, (nil, false, nil)
+//     for a miss, and an error only for backend trouble;
+//   - Put is first-write-wins: re-putting identical bytes is a no-op,
+//     differing bytes return an error wrapping ErrStoreMismatch (the
+//     integrity signal the fencing machinery relies on);
+//   - Stats reports blobs written by this process and corruption events
+//     detected (0 when the backend cannot know);
+//   - all methods are safe for concurrent use.
+type StoreBackend interface {
+	Get(key string) (data []byte, ok bool, err error)
+	Put(key string, data []byte) error
+	Stats() (puts, corruptions int)
+}
+
 // Store is the content-addressed result store: immutable JSON blobs
 // keyed by the lowercase-hex SHA-256 of their job's canonical
 // descriptor. Because results are pure functions of their descriptor,

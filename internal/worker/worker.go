@@ -1,0 +1,327 @@
+// Package worker implements the pull-based worker node of the
+// distributed campaign fabric: a process that registers with a
+// coordinator (internal/service), leases work units over HTTP, executes
+// them with the exact executors the coordinator's own pool uses, and
+// reports results back under the lease's fencing token. Determinism
+// makes the distribution invisible in the data: a unit computes the
+// same bytes on any node, so the coordinator's store (and every
+// campaign aggregate) is byte-identical however the fleet is shaped —
+// one in-process worker, many nodes, nodes dying mid-run.
+//
+// The node is deliberately stateless: its only durable interaction is
+// the coordinator's content-addressed store. Losing a node loses at
+// most the lease's in-flight work, which the coordinator's watchdog
+// re-leases (or its tail work-stealing duplicates) without operator
+// intervention.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"latticesim/internal/service"
+	"latticesim/internal/sweep"
+)
+
+// Options configures a worker node. Coordinator is required; the zero
+// value of everything else is usable.
+type Options struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:8642" (required).
+	Coordinator string
+	// Name is the node's self-reported label (defaults to "worker");
+	// display metadata only — the coordinator assigns the identifying ID
+	// at registration.
+	Name string
+	// MCWorkers sizes the Monte Carlo pool each unit executes with
+	// (0 = GOMAXPROCS). Results never depend on it.
+	MCWorkers int
+	// Cache, when non-nil, is the build cache shared with the rest of
+	// the process; otherwise the worker creates one for its lifetime.
+	Cache *sweep.BuildCache
+	// Poll is the idle sleep between lease requests that found no work
+	// (0 = 500ms).
+	Poll time.Duration
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// BeforeExecute, when non-nil, runs before each leased unit executes
+	// — a test seam for stalling or killing a node mid-unit. Returning
+	// an error fails the unit without executing it.
+	BeforeExecute func(ctx context.Context, grant *service.LeaseGrant) error
+}
+
+// Stats counts a worker's lifetime outcomes.
+type Stats struct {
+	// Leased counts units granted; Completed and Failed the outcomes
+	// reported; Abandoned the units dropped because the coordinator
+	// invalidated the lease mid-execution (expired, stolen and finished
+	// elsewhere, or canceled).
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Abandoned int `json:"abandoned"`
+}
+
+// Worker is a node instance. Construct with New, drive with Run.
+type Worker struct {
+	opts   Options
+	client *service.Client
+	store  *service.RemoteStore
+	cache  *sweep.BuildCache
+
+	mu    sync.Mutex
+	id    string
+	stats Stats
+}
+
+// New builds a worker node for the coordinator in opts.
+func New(opts Options) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, errors.New("worker: Coordinator URL is required")
+	}
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = sweep.NewBuildCache()
+	}
+	client := service.NewClient(opts.Coordinator)
+	client.HTTPClient = opts.HTTPClient
+	client.Retry = service.DefaultRetryPolicy()
+	return &Worker{
+		opts:   opts,
+		client: client,
+		store:  service.NewRemoteStore(opts.Coordinator, opts.HTTPClient),
+		cache:  cache,
+	}, nil
+}
+
+// ID returns the coordinator-assigned worker ID ("" before the first
+// successful registration).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Stats returns a snapshot of the node's outcome counters.
+func (w *Worker) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Run registers the node and pulls work until ctx ends (its only
+// non-nil return is ctx's error). Lease requests that find no work
+// sleep Options.Poll; a coordinator that has forgotten the node's ID
+// (a restart) triggers transparent re-registration; transport errors
+// back off and retry — the node never gives up on a living fleet.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.client.LeaseWork(ctx, w.ID())
+		switch {
+		case err != nil && service.ErrorCode(err) == service.CodeNotFound:
+			w.logf("worker %s: coordinator forgot us, re-registering", w.ID())
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("worker %s: lease request failed: %v", w.ID(), err)
+			if err := sleepCtx(ctx, w.opts.Poll); err != nil {
+				return err
+			}
+			continue
+		case grant == nil:
+			if err := sleepCtx(ctx, w.opts.Poll); err != nil {
+				return err
+			}
+			continue
+		}
+		w.mu.Lock()
+		w.stats.Leased++
+		w.mu.Unlock()
+		w.executeLease(ctx, grant)
+	}
+}
+
+// register obtains a fresh worker ID, retrying until ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		info, err := w.client.RegisterWorker(ctx, w.opts.Name)
+		if err == nil {
+			w.mu.Lock()
+			w.id = info.ID
+			w.mu.Unlock()
+			w.logf("worker %s: registered with %s", info.ID, w.opts.Coordinator)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("worker: registration failed: %v", err)
+		if err := sleepCtx(ctx, w.opts.Poll); err != nil {
+			return err
+		}
+	}
+}
+
+// executeLease runs one leased unit end to end: the store fast path
+// (a unit whose result already landed — e.g. the other side of a steal
+// race — reports complete without recomputing), then execution with a
+// concurrent heartbeat, then the outcome report. A lease the
+// coordinator invalidates mid-flight cancels execution and reports
+// nothing: the unit belongs to someone else now.
+func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
+	if hook := w.opts.BeforeExecute; hook != nil {
+		if err := hook(ctx, grant); err != nil {
+			w.report(ctx, grant, nil, err)
+			return
+		}
+	}
+	if data, ok, err := w.store.Get(grant.Key); err == nil && ok {
+		w.logf("worker %s: %s already stored, fast-completing %s", w.ID(), grant.Key[:8], grant.LeaseID)
+		w.report(ctx, grant, data, nil)
+		return
+	}
+
+	execCtx, cancel := context.WithCancel(ctx)
+	if t := grant.Spec.TimeoutMs; t > 0 {
+		// The coordinator cannot bound a remote attempt's wall time
+		// directly; the node enforces the spec's timeout itself (the
+		// lease expiring would reclaim the unit anyway, but this fails
+		// fast and reports the real reason).
+		execCtx, cancel = context.WithTimeout(ctx, time.Duration(t)*time.Millisecond)
+	}
+	defer cancel()
+
+	// Progress flows through a mailbox the heartbeat loop drains: every
+	// LeaseMs/3 the node reports liveness (with the latest progress) and
+	// learns whether the lease still owns the job.
+	var pmu sync.Mutex
+	var latest *service.Progress
+	abandoned := make(chan struct{})
+	var abandonOnce sync.Once
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(grant.LeaseMs) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-execCtx.Done():
+				return
+			case <-t.C:
+			}
+			pmu.Lock()
+			p := latest
+			latest = nil
+			pmu.Unlock()
+			ack, err := w.client.UpdateLease(ctx, grant.LeaseID, service.LeaseUpdate{
+				Event: "heartbeat", Progress: p,
+			})
+			if err == nil && !ack.Valid {
+				abandonOnce.Do(func() { close(abandoned) })
+				cancel()
+				return
+			}
+		}
+	}()
+
+	var data []byte
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		data, err = service.ExecuteSpec(execCtx, w.cache, grant.Spec, w.opts.MCWorkers, func(p service.Progress) {
+			pmu.Lock()
+			latest = &p
+			pmu.Unlock()
+		})
+	}()
+	cancel()
+	<-hbDone
+
+	select {
+	case <-abandoned:
+		w.mu.Lock()
+		w.stats.Abandoned++
+		w.mu.Unlock()
+		w.logf("worker %s: lease %s invalidated, unit abandoned", w.ID(), grant.LeaseID)
+		return
+	default:
+	}
+	if ctx.Err() != nil && err != nil {
+		// The node itself is shutting down mid-unit; don't report a
+		// failure the coordinator would charge against the job — the
+		// lease will expire and the unit will be re-leased.
+		return
+	}
+	w.report(ctx, grant, data, err)
+}
+
+// report sends the unit's outcome under its lease.
+func (w *Worker) report(ctx context.Context, grant *service.LeaseGrant, data []byte, err error) {
+	u := service.LeaseUpdate{Event: "complete", Result: data}
+	if err != nil {
+		u = service.LeaseUpdate{Event: "fail", Error: err.Error()}
+	}
+	id := w.ID()
+	ack, uerr := w.client.UpdateLease(ctx, grant.LeaseID, u)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case uerr != nil:
+		w.logf("worker %s: reporting %s on %s failed: %v", id, u.Event, grant.LeaseID, uerr)
+	case !ack.Valid:
+		w.stats.Abandoned++
+	case err != nil:
+		w.stats.Failed++
+	default:
+		w.stats.Completed++
+	}
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

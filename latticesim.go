@@ -15,7 +15,9 @@
 //   - simulate whole multi-patch programs with ParseTrace /
 //     SimulateTrace,
 //   - serve jobs from an embeddable queue server with a
-//     content-addressed result store via NewService, and
+//     content-addressed result store via NewService,
+//   - join a coordinator's fleet as a pull-based execution node via
+//     NewWorkerNode, and
 //   - regenerate every table and figure of the paper via Experiments.
 //
 // See the examples directory for runnable walkthroughs and DESIGN.md for
@@ -37,6 +39,7 @@ import (
 	"latticesim/internal/surface"
 	"latticesim/internal/sweep"
 	"latticesim/internal/trace"
+	"latticesim/internal/worker"
 )
 
 // Synchronization policies (§4 of the paper).
@@ -269,30 +272,49 @@ func NewTraceResultSet(prog *TraceProgram, cfg TraceConfig, source string, resul
 	return trace.NewResultSet(prog, cfg, source, results)
 }
 
-// Simulation service: an embeddable job-queue server with a
-// content-addressed result store and streaming progress (the engine
-// behind `latticesim serve` / `latticesim submit`; see DESIGN.md §11).
-// Identical job submissions are served from the store bit-identically.
+// Simulation service: an embeddable coordinator with a bounded job
+// queue, a content-addressed result store, streaming progress, tenant
+// admission control and a pull-based worker fleet (the engine behind
+// `latticesim serve` / `latticesim submit` / `latticesim worker`; see
+// API.md and DESIGN.md §11, §14, §15). Identical job submissions are
+// served from the store bit-identically.
+//
+// Naming convention: every service-side type is Service*, every
+// worker-node type is Worker*. Older names are kept as deprecated
+// aliases for one release.
 type (
 	// Service is the embeddable simulation server: bounded job queue,
-	// worker pool over one shared BuildCache, content-addressed store.
+	// worker pool over one shared BuildCache, content-addressed store,
+	// and the coordinator of the distributed campaign fabric.
 	Service = service.Server
 	// ServiceOptions configures a Service; the zero value works
-	// (memory-only store, 2 workers).
+	// (memory-only store, 2 workers). Set Workers negative for a pure
+	// coordinator that leases all execution to remote worker nodes.
 	ServiceOptions = service.Options
 	// ServiceClient is the Go client of the service HTTP API.
 	ServiceClient = service.Client
-	// ServiceJobSpec describes one job: a sweep point or a trace run.
-	ServiceJobSpec = service.JobSpec
+	// ServiceJob describes one job: a sweep point, a trace run, a batch
+	// of sweep points, or a campaign over a sweep grid.
+	ServiceJob = service.JobSpec
 	// ServiceSweepJob configures a sweep-point job.
 	ServiceSweepJob = service.SweepJob
 	// ServiceTraceJob configures a trace-simulation job.
 	ServiceTraceJob = service.TraceJob
+	// ServiceBatchJob configures a batch job: a slice of sweep points
+	// executed as one work unit (the leasing granularity of campaigns).
+	ServiceBatchJob = service.BatchJob
+	// ServiceCampaignJob configures a campaign: a sweep grid split into
+	// batch children scheduled across the fleet and aggregated into one
+	// result byte-identical to `latticesim sweep -json`.
+	ServiceCampaignJob = service.CampaignJob
 	// ServiceJobStatus is a job's queue state, progress and result key.
 	ServiceJobStatus = service.JobStatus
-	// ServiceStats are the server's queue/store/build-cache counters,
-	// including recovery counters (attempts, requeues, cancellations,
-	// integrity checks).
+	// ServiceCampaignStatus is a campaign's status with per-batch
+	// detail.
+	ServiceCampaignStatus = service.CampaignStatus
+	// ServiceStats are the server's queue/fleet/store/build-cache
+	// counters, including recovery counters (attempts, requeues,
+	// cancellations, integrity checks, steals, quota rejections).
 	ServiceStats = service.Stats
 	// ServiceRetryPolicy configures client-side retries with jittered
 	// exponential backoff; set it on ServiceClient.Retry.
@@ -300,6 +322,41 @@ type (
 	// ServiceAttemptFailure is one recorded failed execution attempt in
 	// a job's retry history (JobStatus.Failures).
 	ServiceAttemptFailure = service.AttemptFailure
+	// ServiceAPIError is the structured error every v1 endpoint returns
+	// on failure: a stable machine-readable code, a human-readable
+	// message, and an optional retry hint.
+	ServiceAPIError = service.APIError
+	// ServiceStatusError is the client-side error carrying the HTTP
+	// status and decoded ServiceAPIError of a failed request; inspect
+	// its code with ServiceErrorCode.
+	ServiceStatusError = service.APIStatusError
+	// ServiceQuotaError reports a tenant over its admission-control
+	// quota (HTTP 429 with code "quota_exceeded" on the wire).
+	ServiceQuotaError = service.QuotaError
+	// ServiceStoreBackend is the result-store interface the service
+	// runs on: the built-in disk/memory store or a ServiceRemoteStore
+	// proxying another node's store over HTTP.
+	ServiceStoreBackend = service.StoreBackend
+	// ServiceRemoteStore is a StoreBackend reading and writing another
+	// service's content-addressed store via its /v1/results API.
+	ServiceRemoteStore = service.RemoteStore
+	// ServiceWorkerInfo describes one registered fleet node
+	// (GET /v1/workers).
+	ServiceWorkerInfo = service.WorkerInfo
+	// ServiceLeaseGrant is one leased work unit handed to a worker node.
+	ServiceLeaseGrant = service.LeaseGrant
+	// ServiceLeaseUpdate is a worker's report on a leased unit:
+	// heartbeat, complete, or fail.
+	ServiceLeaseUpdate = service.LeaseUpdate
+)
+
+// Deprecated aliases, kept for one release per the API.md deprecation
+// policy.
+type (
+	// ServiceJobSpec describes one job.
+	//
+	// Deprecated: use ServiceJob.
+	ServiceJobSpec = service.JobSpec
 )
 
 // NewService starts an embeddable simulation server; expose it over
@@ -310,9 +367,43 @@ func NewService(opts ServiceOptions) (*Service, error) { return service.New(opts
 // (e.g. "http://127.0.0.1:8642").
 func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
 
+// NewServiceRemoteStore returns a StoreBackend proxying the
+// content-addressed store of the service at base over its /v1/results
+// API, using the default HTTP client.
+func NewServiceRemoteStore(base string) *ServiceRemoteStore {
+	return service.NewRemoteStore(base, nil)
+}
+
 // DefaultServiceRetryPolicy is the retry policy `latticesim submit
-// -retry` uses: 5 retries, 100ms base delay, 5s cap, full jitter.
+// -retry` uses: 5 retries, 100ms base delay, 5s cap, full jitter. It
+// honors server retry hints (Retry-After / retry_after_ms) as backoff
+// floors.
 func DefaultServiceRetryPolicy() *ServiceRetryPolicy { return service.DefaultRetryPolicy() }
+
+// ServiceErrorCode extracts the stable machine-readable error code
+// ("quota_exceeded", "queue_full", ...) from an error returned by a
+// ServiceClient, or "" if the error carries none.
+func ServiceErrorCode(err error) string { return service.ErrorCode(err) }
+
+// Worker fleet: pull-based execution nodes of the distributed campaign
+// fabric (the engine behind `latticesim worker`; see DESIGN.md §15). A
+// node registers with a coordinator, leases work units over HTTP,
+// executes them with the same deterministic executors the coordinator
+// uses, and reports results under the lease's fencing token.
+type (
+	// WorkerNode is one fleet node instance; construct with
+	// NewWorkerNode and drive with Run.
+	WorkerNode = worker.Worker
+	// WorkerOptions configures a WorkerNode; Coordinator is required.
+	WorkerOptions = worker.Options
+	// WorkerStats counts a node's lifetime outcomes (leased, completed,
+	// failed, abandoned).
+	WorkerStats = worker.Stats
+)
+
+// NewWorkerNode builds a worker node for the coordinator named in
+// opts; Run it with a context to join the fleet until canceled.
+func NewWorkerNode(opts WorkerOptions) (*WorkerNode, error) { return worker.New(opts) }
 
 // Experiments: regeneration of the paper's tables and figures.
 type (
