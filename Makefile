@@ -16,7 +16,7 @@ COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_JSON ?= BENCH_pr7.json
 
-.PHONY: build test race cover fuzz serve bench bench-json bench-compare diff diff-long chaos chaos-long
+.PHONY: build test race cover fuzz serve bench bench-json bench-compare diff diff-long chaos chaos-long obs-smoke
 
 build:
 	$(GO) build ./...
@@ -104,3 +104,10 @@ chaos:
 chaos-long:
 	CHAOS_SCHEDULES=300 CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
 		$(GO) test -race -count 1 -timeout 60m -run 'TestChaos' ./internal/service
+
+# obs-smoke drives the observability surface (DESIGN.md §16) end to end
+# against a real two-node fleet: /metrics mid-campaign, a SIGKILL-forced
+# lease expiry, one trace ID across coordinator and node span sinks,
+# the status dashboard, and pprof. CI runs it in the fleet-smoke job.
+obs-smoke:
+	./scripts/obs-smoke.sh

@@ -13,6 +13,7 @@
 //	latticesim serve [serve flags]
 //	latticesim worker [worker flags]
 //	latticesim submit sweep|trace|campaign [submit flags]
+//	latticesim status [coordinator-url]
 //
 // Experiment IDs follow the paper (fig14, table2, ...). Shots and maximum
 // code distance default to laptop-scale values; the paper's settings are
@@ -84,6 +85,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		if err := runStatus(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "latticesim status: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := exp.OptionsFromEnv()
 	shots := flag.Int("shots", opts.Shots, "shots per simulated configuration (0 = default)")
@@ -107,6 +115,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       latticesim serve -help")
 		fmt.Fprintln(os.Stderr, "       latticesim worker -help")
 		fmt.Fprintln(os.Stderr, "       latticesim submit -help")
+		fmt.Fprintln(os.Stderr, "       latticesim status -help")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {

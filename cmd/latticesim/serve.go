@@ -40,12 +40,16 @@ API (see API.md for the full contract; DESIGN.md §11, §14, §15):
   POST   /v1/leases/{id}       report on a leased unit
   GET/PUT /v1/results/{key}    stored result JSON
   GET    /v1/stats             queue/fleet/store/build-cache counters
+  GET    /metrics              Prometheus text exposition
   GET    /healthz              liveness probe
 
 Submit jobs with `+"`latticesim submit`"+`, add execution nodes with
-`+"`latticesim worker`"+`, or use any HTTP client. The X-Tenant request
+`+"`latticesim worker`"+`, inspect a running fleet with
+`+"`latticesim status`"+`, or use any HTTP client. The X-Tenant request
 header attributes submissions to a tenant for -tenant-quota admission
-control.
+control. With -log-json every job, attempt and lease emits start/end
+span events (NDJSON) keyed by the job's trace ID, which also rides the
+X-Latticesim-Trace response header; -debug-addr serves pprof.
 
 Flags:`)
 		fs.PrintDefaults()
@@ -64,10 +68,18 @@ Flags:`)
 
 		tenantQuota = fs.Int("tenant-quota", 0, "live work units (queued + running jobs, campaign children included) allowed per tenant; submissions beyond it get 429 (0 = unlimited)")
 		stealAge    = fs.Duration("steal-age", 0, "idle worker nodes may duplicate a running campaign-batch attempt whose lease was last renewed at least this long ago (0 = lease/2; negative disables stealing)")
+
+		of = addObsFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	sinks, err := of.open()
+	if err != nil {
+		return err
+	}
+	defer sinks.Close()
 
 	lw := *workers
 	if lw == 0 {
@@ -77,6 +89,7 @@ Flags:`)
 		DataDir: *data, Workers: lw, QueueDepth: *queue, MCWorkers: *mcw,
 		MaxAttempts: *maxAttempts, Lease: *lease, JobTimeout: *jobTimeout,
 		TenantQuota: *tenantQuota, StealAge: *stealAge,
+		Spans: sinks.Spans, Logger: sinks.Logger,
 	})
 	if err != nil {
 		return err

@@ -205,6 +205,15 @@ func (p *Predecoder) NewDecoder(uf *UnionFind) *Predecoded {
 // decodes to 0 with no side effects, like its union-find fall-through.
 func (d *Predecoded) EmptySyndromeFree() bool { return true }
 
+// Statser is implemented by decoders that expose cumulative
+// (shots decoded, predecoder hits) tallies — currently *Predecoded.
+// The Monte Carlo layer type-asserts it at shard boundaries to fold
+// predecoder hit rates into its metric registry without depending on
+// the concrete decoder type.
+type Statser interface {
+	Stats() (shots, hits int)
+}
+
 // Stats reports (shots decoded, full-decomposition hits) since
 // construction, for benchmarks and tuning. Observation only.
 func (d *Predecoded) Stats() (shots, hits int) {

@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"latticesim/internal/circuit"
 	"latticesim/internal/decoder"
 	"latticesim/internal/dem"
 	"latticesim/internal/frame"
+	"latticesim/internal/obs"
 	"latticesim/internal/stats"
 )
 
@@ -135,6 +137,15 @@ type Pipeline struct {
 	// this), so the others exist for equivalence testing and debugging.
 	Path Path
 
+	// Metrics, when non-nil, receives shard-granular instrumentation from
+	// the decode entry points: a shard wall-time histogram
+	// (latticesim_shard_duration_seconds) and, when the decoder stack
+	// exposes predecoder statistics (decoder.Statser), cumulative
+	// predecoder shot/hit counters. All observations happen at shard
+	// boundaries — never per shot — so nil costs one pointer check per
+	// run and results are bit-identical either way.
+	Metrics *obs.Registry
+
 	// pre holds the shared predecoder tables for PathAuto's decode stage.
 	// NewPipeline fills it; hand-built pipelines leave it nil and run
 	// PathAuto without the predecoder stage.
@@ -212,7 +223,16 @@ type lerState struct {
 	wide    *wideState
 	ext     *frame.Extractor
 	dec     decoder.Decoder
+	// cur tracks the last cumulative predecoder tally this worker folded
+	// into the pipeline's metric counters, so each shard contributes
+	// exactly its delta. A pointer member (like wide) because shard calls
+	// receive the state by value; nil when metrics are off.
+	cur *preCursor
 }
+
+// preCursor is a worker's high-water mark of the cumulative
+// decoder.Statser tallies already published to the metric counters.
+type preCursor struct{ shots, hits int }
 
 // wideState is the per-worker scratch of the wide-word path: the group
 // sampler plus reusable buffers for the grouped sparse syndromes and the
@@ -245,16 +265,48 @@ func (p *Pipeline) runLERShards(plan []shard, total int, seed uint64, workers in
 			return lerState{sampler: newSampler(), ext: frame.NewExtractor(), dec: newDec()}
 		}
 	}
+	// Resolve metric handles once per run, outside the shard loop; the
+	// per-shard cost is then one histogram observation plus (at most)
+	// two counter adds.
+	var shardDur *obs.Histogram
+	var preShots, preHits *obs.Counter
+	if p.Metrics != nil {
+		shardDur = p.Metrics.Histogram("latticesim_shard_duration_seconds",
+			"Wall time of one Monte Carlo shard (sample + decode).", obs.DefBuckets)
+		preShots = p.Metrics.Counter("latticesim_predecoder_shots_total",
+			"Decoded shots inspected by the predecoder stage.")
+		preHits = p.Metrics.Counter("latticesim_predecoder_hits_total",
+			"Decoded shots fully resolved by the predecoder stage.")
+		inner := newState
+		newState = func() lerState {
+			st := inner()
+			st.cur = &preCursor{}
+			return st
+		}
+	}
 	var doneShots atomic.Int64
 	progress := p.Progress
 	parts := runShards(p.Ctx, plan, workers,
 		newState,
 		func(st lerState, sh shard) LERResult {
+			var begin time.Time
+			if shardDur != nil {
+				begin = time.Now()
+			}
 			var res LERResult
 			if st.wide != nil {
 				res = p.runShardLERWide(st, sh, seed)
 			} else {
 				res = p.runShardLER(st, sh, seed)
+			}
+			if shardDur != nil {
+				shardDur.Observe(time.Since(begin).Seconds())
+				if ds, ok := st.dec.(decoder.Statser); ok {
+					shots, hits := ds.Stats()
+					preShots.Add(int64(shots - st.cur.shots))
+					preHits.Add(int64(hits - st.cur.hits))
+					st.cur.shots, st.cur.hits = shots, hits
+				}
 			}
 			if progress != nil {
 				progress(int(doneShots.Add(int64(sh.shots))), total)

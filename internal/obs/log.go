@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level (unknown strings
+// default to info so a typo loosens logging rather than silencing it).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger writes leveled structured NDJSON log lines: one object per
+// line with ts_ms, level, event, and the call's key/value fields. It is
+// safe for concurrent use, and a nil *Logger drops everything — the
+// service layer logs unconditionally and lets the nil receiver decide.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger returns a logger writing at or above min to w (nil w
+// returns a nil logger, which is valid and silent).
+func NewLogger(w io.Writer, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, min: min}
+}
+
+// Log writes one event if level clears the logger's threshold. kv is
+// alternating key, value pairs; values are JSON-encoded as-is.
+func (l *Logger) Log(level Level, event string, kv ...any) {
+	if l == nil || level < l.min {
+		return
+	}
+	rec := make(map[string]any, len(kv)/2+3)
+	rec["ts_ms"] = time.Now().UnixMilli()
+	rec["level"] = level.String()
+	rec["event"] = event
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		rec[k] = kv[i+1]
+	}
+	// encoding/json sorts map keys, so output is canonical and diffable.
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(line)
+}
+
+// Debug, Info, Warn, and Error are Log shorthands.
+func (l *Logger) Debug(event string, kv ...any) { l.Log(LevelDebug, event, kv...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(event string, kv ...any) { l.Log(LevelInfo, event, kv...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(event string, kv ...any) { l.Log(LevelWarn, event, kv...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(event string, kv ...any) { l.Log(LevelError, event, kv...) }

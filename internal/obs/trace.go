@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a trace ID coordinator→worker
+// (on lease grants) and client→coordinator (on submissions that want to
+// join an existing trace).
+const TraceHeader = "X-Latticesim-Trace"
+
+// NewTraceID returns a fresh 16-byte random trace ID in lowercase hex.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if degenerate) trace ID.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s looks like a trace ID this package
+// minted: 32 lowercase hex characters. Inbound headers that fail this
+// are ignored rather than propagated, keeping log output greppable.
+func ValidTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanEvent is one NDJSON trace record. Every span emits two events —
+// phase "start" and phase "end" — sharing the span ID; the end event
+// carries the duration and outcome. Span IDs are deterministic,
+// human-readable paths (job ID, "j000012/a2" for attempt 2,
+// lease IDs, "l000005/unit" for a worker-side execution) so a trace
+// can be reassembled with grep alone.
+type SpanEvent struct {
+	TimeMs  int64  `json:"ts_ms"`
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`  // job | campaign | attempt | lease | unit
+	Phase   string `json:"phase"` // start | end
+	DurMs   int64  `json:"dur_ms,omitempty"`
+	Outcome string `json:"outcome,omitempty"` // end events: done | failed | canceled | expired | ...
+	Job     string `json:"job,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+}
+
+// SpanWriter serializes SpanEvents as NDJSON to a sink. All methods are
+// safe for concurrent use and nil-safe: a nil *SpanWriter drops every
+// event, so instrumented code never checks whether tracing is on.
+type SpanWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSpanWriter wraps w as a span sink (nil w returns a nil writer,
+// which is valid and silent).
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	if w == nil {
+		return nil
+	}
+	return &SpanWriter{w: w}
+}
+
+// Emit writes one event, stamping TimeMs if unset.
+func (s *SpanWriter) Emit(ev SpanEvent) {
+	if s == nil {
+		return
+	}
+	if ev.TimeMs == 0 {
+		ev.TimeMs = time.Now().UnixMilli()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	// One Write call per event: span and log writers may share a sink
+	// (an O_APPEND file), and whole-line writes keep NDJSON intact.
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(line)
+}
+
+// Start emits a start event for the span.
+func (s *SpanWriter) Start(ev SpanEvent) {
+	ev.Phase = "start"
+	ev.DurMs = 0
+	ev.Outcome = ""
+	s.Emit(ev)
+}
+
+// End emits an end event, computing DurMs from start if dur is given.
+func (s *SpanWriter) End(ev SpanEvent, start time.Time, outcome string) {
+	ev.Phase = "end"
+	if !start.IsZero() {
+		ev.DurMs = time.Since(start).Milliseconds()
+	}
+	ev.Outcome = outcome
+	s.Emit(ev)
+}

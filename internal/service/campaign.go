@@ -73,8 +73,10 @@ func (c *campaign) status() CampaignStatus {
 // identical to a live job joins it, and only fresh batches enter the
 // queue. The tenant is charged one unit for the parent plus one per
 // fresh child, atomically — an over-quota campaign is rejected whole,
-// with no partial side effects. Caller holds s.mu.
-func (s *Server) submitCampaignLocked(r *resolvedJob, tenant string) (JobStatus, error) {
+// with no partial side effects. Every child inherits the campaign's
+// trace ID (except a coalesced live job, which keeps the trace it was
+// born with). Caller holds s.mu.
+func (s *Server) submitCampaignLocked(r *resolvedJob, tenant, traceID string) (JobStatus, error) {
 	// Cut the canonical-order units into batch resolvedJobs.
 	var batches []*resolvedJob
 	for lo := 0; lo < len(r.units); lo += r.batch {
@@ -118,9 +120,12 @@ func (s *Server) submitCampaignLocked(r *resolvedJob, tenant string) (JobStatus,
 	parent := s.addJobLocked(r, StateRunning, false)
 	parent.tenant = tenant
 	parent.status.Tenant = tenant
+	parent.status.TraceID = traceID
 	parent.status.Progress = Progress{Total: len(r.units), Unit: "points"}
 	s.inflight[r.key] = parent
-	s.campaignsTotal++
+	s.met.submitted.Inc()
+	s.met.campaigns.Inc()
+	s.startJobSpan(parent)
 
 	children := make([]*job, len(plans))
 	for i, p := range plans {
@@ -131,16 +136,20 @@ func (s *Server) submitCampaignLocked(r *resolvedJob, tenant string) (JobStatus,
 			cj := s.addJobLocked(p.res, StateDone, true)
 			cj.child = true
 			cj.status.Tenant = tenant
+			cj.status.TraceID = traceID
 			cj.status.DoneMs = now
-			s.hits++
+			s.met.storeHits.Inc()
+			s.startJobSpan(cj)
 			children[i] = cj
 		default:
 			cj := s.addJobLocked(p.res, StateQueued, false)
 			cj.child = true
 			cj.tenant = tenant
 			cj.status.Tenant = tenant
+			cj.status.TraceID = traceID
 			s.pending = append(s.pending, cj)
 			s.inflight[p.res.key] = cj
+			s.startJobSpan(cj)
 			s.cond.Signal()
 			children[i] = cj
 		}

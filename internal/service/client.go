@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"latticesim/internal/obs"
 )
 
 // RetryPolicy configures client-side resilience: transient failures
@@ -83,6 +85,11 @@ type Client struct {
 	// submissions, attributing them to that tenant's quota ("" =
 	// "default").
 	Tenant string
+	// Trace, when non-empty, is sent as the X-Latticesim-Trace header
+	// on submissions, joining the submitted job to an existing trace
+	// ("" lets the server mint a fresh trace ID; the submission
+	// response's JobStatus.TraceID reports which).
+	Trace string
 }
 
 // NewClient returns a client for the server at base.
@@ -278,6 +285,9 @@ func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any
 		req.Header.Set("Content-Type", "application/json")
 		if c.Tenant != "" {
 			req.Header.Set("X-Tenant", c.Tenant)
+		}
+		if c.Trace != "" {
+			req.Header.Set(obs.TraceHeader, c.Trace)
 		}
 		return req, nil
 	}, func(resp *http.Response) error {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"latticesim/internal/obs"
 	"latticesim/internal/sweep"
 	"latticesim/internal/trace"
 )
@@ -27,7 +28,7 @@ func (s *Server) execute(ctx context.Context, j *job, att int) ([]byte, error) {
 	}
 	return executeResolved(ctx, s.opts.Cache, j.res, s.opts.MCWorkers, func(p Progress) {
 		s.touch(j, att, p)
-	})
+	}, s.met.reg)
 }
 
 // ExecuteSpec resolves a job spec and executes it locally — the entry
@@ -39,6 +40,14 @@ func (s *Server) execute(ctx context.Context, j *job, att int) ([]byte, error) {
 // specs are refused: campaigns are scheduled by the coordinator, only
 // their batch children execute on nodes.
 func ExecuteSpec(ctx context.Context, cache *sweep.BuildCache, spec JobSpec, workers int, onProgress func(Progress)) ([]byte, error) {
+	return ExecuteSpecObserved(ctx, cache, spec, workers, onProgress, nil)
+}
+
+// ExecuteSpecObserved is ExecuteSpec with a metric registry: the
+// Monte Carlo pipeline records shard-duration and predecoder series on
+// it (nil disables instrumentation at zero cost — the hot path never
+// checks more than one pointer per shard).
+func ExecuteSpecObserved(ctx context.Context, cache *sweep.BuildCache, spec JobSpec, workers int, onProgress func(Progress), metrics *obs.Registry) ([]byte, error) {
 	if spec.Type == "campaign" {
 		return nil, fmt.Errorf("service: campaign jobs are scheduled by the coordinator, not executed directly")
 	}
@@ -49,23 +58,23 @@ func ExecuteSpec(ctx context.Context, cache *sweep.BuildCache, spec JobSpec, wor
 	if cache == nil {
 		cache = sweep.NewBuildCache()
 	}
-	return executeResolved(ctx, cache, r, workers, onProgress)
+	return executeResolved(ctx, cache, r, workers, onProgress, metrics)
 }
 
 // executeResolved dispatches a resolved job to its executor. It is
 // deliberately independent of *Server so the coordinator's local pool
 // and remote worker nodes share one code path.
-func executeResolved(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+func executeResolved(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress), metrics *obs.Registry) ([]byte, error) {
 	if onProgress == nil {
 		onProgress = func(Progress) {}
 	}
 	switch r.spec.Type {
 	case "sweep":
-		return executeSweep(ctx, cache, r, workers, onProgress)
+		return executeSweep(ctx, cache, r, workers, onProgress, metrics)
 	case "trace":
 		return executeTrace(ctx, cache, r, workers, onProgress)
 	case "batch":
-		return executeBatch(ctx, cache, r, workers, onProgress)
+		return executeBatch(ctx, cache, r, workers, onProgress, metrics)
 	}
 	return nil, fmt.Errorf("service: unresolvable job type %q", r.spec.Type)
 }
@@ -74,10 +83,11 @@ func executeResolved(ctx context.Context, cache *sweep.BuildCache, r *resolvedJo
 // build cache, streaming shot-level progress, and canonicalizes the
 // record (wall_ms zeroed — the only nondeterministic field) so
 // re-submissions serve bit-identical bytes.
-func executeSweep(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+func executeSweep(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress), metrics *obs.Registry) ([]byte, error) {
 	cfg := r.scfg
 	cfg.Workers = workers
 	cfg.Ctx = ctx
+	cfg.Metrics = metrics
 	cfg.ShotProgress = func(done, total int) {
 		onProgress(Progress{Done: done, Total: total, Unit: "shots"})
 	}
@@ -93,7 +103,7 @@ func executeSweep(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, 
 // their canonical record lines. Progress counts whole points; inner
 // shot progress is forwarded at the same point count so lease
 // heartbeats keep flowing through a long point.
-func executeBatch(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress)) ([]byte, error) {
+func executeBatch(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, workers int, onProgress func(Progress), metrics *obs.Registry) ([]byte, error) {
 	var out []byte
 	n := len(r.units)
 	for i, u := range r.units {
@@ -103,7 +113,7 @@ func executeBatch(ctx context.Context, cache *sweep.BuildCache, r *resolvedJob, 
 		done := i
 		line, err := executeSweep(ctx, cache, u, workers, func(Progress) {
 			onProgress(Progress{Done: done, Total: n, Unit: "points"})
-		})
+		}, metrics)
 		if err != nil {
 			return nil, fmt.Errorf("point %d: %w", i, err)
 		}

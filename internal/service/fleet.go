@@ -45,10 +45,11 @@ type workerNode struct {
 // remoteLease ties a granted lease to the job attempt it fences.
 // Immutable after creation; the map holding it is guarded by s.mu.
 type remoteLease struct {
-	id  string
-	j   *job
-	att int    // the fencing token minted at grant time
-	wkr string // worker ID the unit was leased to
+	id      string
+	j       *job
+	att     int       // the fencing token minted at grant time
+	wkr     string    // worker ID the unit was leased to
+	granted time.Time // grant instant (span duration bookkeeping)
 }
 
 // LeaseGrant is the coordinator's answer to a successful lease request:
@@ -74,6 +75,11 @@ type LeaseGrant struct {
 	// are unaffected — the loser's bytes are integrity-checked, not
 	// stored twice.
 	Stolen bool `json:"stolen,omitempty"`
+	// TraceID is the job's trace ID, minted at submission. The HTTP
+	// layer also carries it in the X-Latticesim-Trace response header;
+	// workers stamp it on their unit span events so one grep reassembles
+	// a campaign's full coordinator+fleet trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // LeaseUpdate is a worker's report on a leased unit: a bare heartbeat,
@@ -178,15 +184,17 @@ func (s *Server) LeaseWork(workerID string) (*LeaseGrant, error) {
 			continue
 		}
 		j.mu.Lock()
+		victim := j.status.Worker
 		stale := j.status.State == StateRunning &&
-			j.status.Worker != workerID &&
+			victim != workerID &&
 			!now.Before(j.lease.Add(s.opts.StealAge-s.opts.Lease))
 		j.mu.Unlock()
 		if !stale {
 			continue
 		}
 		if att, ok := s.beginRemoteAttemptLocked(j, workerID, now, true); ok {
-			s.steals++
+			s.met.steals.Inc()
+			s.log.Info("work_steal", "job", id, "worker", workerID, "victim", victim)
 			return s.grantLocked(w, j, att, true), nil
 		}
 	}
@@ -213,8 +221,9 @@ func (s *Server) beginRemoteAttemptLocked(j *job, workerID string, now time.Time
 	j.status.Progress = Progress{}
 	j.status.Worker = workerID
 	j.lease = now.Add(s.opts.Lease)
+	j.attemptStart = now
 	j.broadcastLocked()
-	s.attempts++
+	s.met.attempts.Inc()
 	return j.status.Attempt, true
 }
 
@@ -223,14 +232,18 @@ func (s *Server) beginRemoteAttemptLocked(j *job, workerID string, now time.Time
 func (s *Server) grantLocked(w *workerNode, j *job, att int, stolen bool) *LeaseGrant {
 	s.nextLease++
 	l := &remoteLease{
-		id:  fmt.Sprintf("l%06d", s.nextLease),
-		j:   j,
-		att: att,
-		wkr: w.info.ID,
+		id:      fmt.Sprintf("l%06d", s.nextLease),
+		j:       j,
+		att:     att,
+		wkr:     w.info.ID,
+		granted: time.Now(),
 	}
 	s.leases[l.id] = l
 	w.info.Leased++
+	s.met.leaseGrants.Inc()
 	st := j.snapshot()
+	s.startAttemptSpan(st)
+	s.startLeaseSpan(l, st)
 	return &LeaseGrant{
 		LeaseID: l.id,
 		JobID:   st.ID,
@@ -239,6 +252,7 @@ func (s *Server) grantLocked(w *workerNode, j *job, att int, stolen bool) *Lease
 		Attempt: att,
 		LeaseMs: s.opts.Lease.Milliseconds(),
 		Stolen:  stolen,
+		TraceID: st.TraceID,
 	}
 }
 
@@ -283,19 +297,30 @@ func (s *Server) UpdateLease(leaseID string, u LeaseUpdate) (LeaseAck, error) {
 		owns := j.status.Attempt == l.att && !j.status.Terminal()
 		j.mu.Unlock()
 		if !owns {
+			s.endLeaseSpan(l, "superseded")
 			if u.Result != nil {
 				s.integrityCheck(j, u.Result, l.wkr)
 			}
 			return LeaseAck{}, nil
 		}
-		s.countOutcome(l.wkr, true)
+		// The worker's credit waits for the store write: a report whose
+		// bytes conflict with the stored result is an integrity failure
+		// implicating the node, not a completion.
 		perr := s.store.Put(j.res.key, u.Result)
 		switch {
 		case perr == nil:
+			s.countOutcome(l.wkr, true)
+			s.endLeaseSpan(l, "complete")
 			s.completeJob(j, l.att)
 		case errors.Is(perr, ErrStoreMismatch):
+			s.countOutcome(l.wkr, false)
+			s.endLeaseSpan(l, "integrity_error")
 			s.integrityFail(j, fmt.Errorf("worker %s: %w", l.wkr, perr))
 		default:
+			// A store-side write error is not the worker's doing; the
+			// report still counts as a completion on its record.
+			s.countOutcome(l.wkr, true)
+			s.endLeaseSpan(l, "store_error")
 			s.retryOrFail(j, l.att, "error", perr, now)
 		}
 		return LeaseAck{Valid: true}, nil
@@ -306,9 +331,11 @@ func (s *Server) UpdateLease(leaseID string, u LeaseUpdate) (LeaseAck, error) {
 		owns := j.status.Attempt == l.att && j.status.State == StateRunning
 		j.mu.Unlock()
 		if !owns {
+			s.endLeaseSpan(l, "superseded")
 			return LeaseAck{}, nil
 		}
 		s.countOutcome(l.wkr, false)
+		s.endLeaseSpan(l, "fail")
 		msg := u.Error
 		if msg == "" {
 			msg = "worker reported failure without a message"

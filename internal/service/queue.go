@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"latticesim/internal/obs"
 	"latticesim/internal/sweep"
 )
 
@@ -99,6 +100,20 @@ type Options struct {
 	// server reuses it, so repeated specs skip circuit/DEM/decoder-graph
 	// builds even across different jobs.
 	Cache *sweep.BuildCache
+	// Metrics, when non-nil, is the registry the server's metric
+	// families register on (serve it at GET /metrics — Handler already
+	// does). nil gives the server a private registry: every counter
+	// still exists, because Stats() is derived from it. One registry
+	// should back at most one Server.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives job/attempt/lease span events as
+	// NDJSON (see obs.SpanEvent). nil disables tracing output; trace
+	// IDs are still minted and propagated either way.
+	Spans *obs.SpanWriter
+	// Logger, when non-nil, receives structured leveled log events for
+	// operationally interesting transitions: lease expiry, requeue,
+	// integrity failure, work-steal, tenant rejection. nil is silent.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +169,9 @@ type job struct {
 	// it.
 	cancel context.CancelFunc
 	lease  time.Time
+	// attemptStart is when the current attempt began (zero when no
+	// attempt is running); feeds span durations and the shots/s gauge.
+	attemptStart time.Time
 
 	// Immutable after registration.
 	child bool // a campaign batch child (exempt from QueueDepth)
@@ -250,16 +268,13 @@ type Server struct {
 	campaigns map[string]*campaign
 	childRefs map[*job]int
 	tenants   map[string]int // tenant → live work units (quota)
-	// Counters (see Stats).
-	hits            int // submissions served straight from the store
-	attempts        int // execution attempts dispatched
-	requeues        int // crash-recovery requeues (panic, error, lease)
-	cancels         int // Cancel calls that stopped a live job
-	steals          int // tail work-steals (duplicated straggler attempts)
-	quotaRejects    int // submissions rejected by tenant quota
-	campaignsTotal  int // campaigns ever scheduled (cache hits excluded)
-	integrityChecks int // late-completion byte-compares performed
-	integrityErrs   int // byte-compares that found a mismatch
+	// Observability: every server counter lives in met's registry —
+	// Stats() and /metrics read the same handles, so the compatibility
+	// snapshot can never disagree with the exposition. spans and log
+	// are nil-safe sinks (see Options.Spans / Options.Logger).
+	met   *serverMetrics
+	spans *obs.SpanWriter
+	log   *obs.Logger
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -279,9 +294,17 @@ func New(opts Options) (*Server, error) {
 		store.hooks = opts.Hooks
 		backend = store
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newServerMetrics(reg, backend.Stats, opts.Cache.Stats)
 	s := &Server{
 		opts:      opts,
-		store:     backend,
+		store:     &meteredStore{b: backend, m: met},
+		met:       met,
+		spans:     opts.Spans,
+		log:       opts.Logger,
 		jobs:      make(map[string]*job),
 		inflight:  make(map[string]*job),
 		workers:   make(map[string]*workerNode),
@@ -291,6 +314,7 @@ func New(opts Options) (*Server, error) {
 		tenants:   make(map[string]int),
 		quit:      make(chan struct{}),
 	}
+	reg.OnScrape(s.observeFleetGauges)
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -338,11 +362,22 @@ func normTenant(tenant string) string {
 // Spec errors are reported as *SpecError so transports can distinguish
 // a bad request from server trouble.
 func (s *Server) SubmitAs(spec JobSpec, tenant string) (JobStatus, error) {
+	return s.SubmitTraced(spec, tenant, "")
+}
+
+// SubmitTraced is SubmitAs with an explicit trace ID (the value of an
+// inbound X-Latticesim-Trace header). An empty or malformed traceID
+// mints a fresh one, so every registered job carries a valid trace ID;
+// a coalescing submission joins the live job's existing trace.
+func (s *Server) SubmitTraced(spec JobSpec, tenant, traceID string) (JobStatus, error) {
 	r, err := spec.resolve()
 	if err != nil {
 		return JobStatus{}, &SpecError{Err: err}
 	}
 	tenant = normTenant(tenant)
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -364,11 +399,14 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (JobStatus, error) {
 		j := s.addJobLocked(r, StateDone, true)
 		j.status.DoneMs = time.Now().UnixMilli()
 		j.status.Tenant = tenant
-		s.hits++
+		j.status.TraceID = traceID
+		s.met.submitted.Inc()
+		s.met.storeHits.Inc()
+		s.startJobSpan(j)
 		return j.snapshot(), nil
 	}
 	if spec.Type == "campaign" {
-		return s.submitCampaignLocked(r, tenant)
+		return s.submitCampaignLocked(r, tenant, traceID)
 	}
 	if err := s.chargeTenantLocked(tenant, 1); err != nil {
 		return JobStatus{}, err
@@ -380,8 +418,11 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (JobStatus, error) {
 	j := s.addJobLocked(r, StateQueued, false)
 	j.tenant = tenant
 	j.status.Tenant = tenant
+	j.status.TraceID = traceID
 	s.pending = append(s.pending, j)
 	s.inflight[r.key] = j
+	s.met.submitted.Inc()
+	s.startJobSpan(j)
 	s.cond.Signal()
 	return j.snapshot(), nil
 }
@@ -391,7 +432,8 @@ func (s *Server) SubmitAs(spec JobSpec, tenant string) (JobStatus, error) {
 // holds s.mu.
 func (s *Server) chargeTenantLocked(tenant string, units int) error {
 	if q := s.opts.TenantQuota; q > 0 && s.tenants[tenant]+units > q {
-		s.quotaRejects++
+		s.met.quotaRejects.Inc()
+		s.log.Warn("tenant_reject", "tenant", tenant, "live", s.tenants[tenant], "requested", units, "limit", q)
 		return &QuotaError{Tenant: tenant, Limit: q, Live: s.tenants[tenant]}
 	}
 	s.tenants[tenant] += units
@@ -525,6 +567,9 @@ func (s *Server) cancelJob(j *job) JobStatus {
 		return st
 	}
 	cancel := j.cancel
+	wasRunning := j.status.State == StateRunning
+	att := j.status.Attempt
+	astart := j.attemptStart
 	j.status.State = StateCanceled
 	j.status.StopReason = StopReasonCanceled
 	j.status.DoneMs = time.Now().UnixMilli()
@@ -534,17 +579,25 @@ func (s *Server) cancelJob(j *job) JobStatus {
 	if cancel != nil {
 		cancel()
 	}
-	s.mu.Lock()
-	s.cancels++
-	s.mu.Unlock()
+	s.met.cancels.Inc()
+	if wasRunning {
+		s.endAttemptSpan(st, att, astart, "canceled")
+	}
 	s.settle(j)
 	return st
 }
 
-// Stats is the server-level counter snapshot of GET /v1/stats.
+// Stats is the server-level counter snapshot of GET /v1/stats, derived
+// from the same metric registry /metrics renders (so the two cannot
+// disagree).
 type Stats struct {
-	// Jobs counts every submission that registered a job, by state.
+	// Jobs counts registered submissions: cache hits, fresh jobs, and
+	// campaign parents. Campaign batch children are internal work units,
+	// reported separately as BatchChildren rather than inflating Jobs
+	// (the per-state counts below include them — they are what occupies
+	// the queue and the workers).
 	Jobs            int `json:"jobs"`
+	BatchChildren   int `json:"batch_children"`
 	Queued          int `json:"queued"`
 	Running         int `json:"running"`
 	Done            int `json:"done"`
@@ -588,21 +641,21 @@ type Stats struct {
 	BuildMisses int `json:"build_misses"`
 }
 
-// Stats reports the current counters.
+// Stats reports the current counters, reading the same registry
+// handles GET /metrics renders.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
 	var st Stats
-	st.Jobs = len(s.order)
-	st.StoreHits = s.hits
-	st.Attempts = s.attempts
-	st.Requeues = s.requeues
-	st.Cancellations = s.cancels
-	st.IntegrityChecks = s.integrityChecks
-	st.IntegrityFailures = s.integrityErrs
+	st.StoreHits = int(s.met.storeHits.Value())
+	st.Attempts = int(s.met.attempts.Value())
+	st.Requeues = int(s.met.requeues.Value())
+	st.Cancellations = int(s.met.cancels.Value())
+	st.IntegrityChecks = int(s.met.integrityChecks.Value())
+	st.IntegrityFailures = int(s.met.integrityFails.Value())
+	st.Steals = int(s.met.steals.Value())
+	st.Campaigns = int(s.met.campaigns.Value())
+	st.QuotaRejections = int(s.met.quotaRejects.Value())
+	s.mu.Lock()
 	st.Workers = len(s.workers)
-	st.Steals = s.steals
-	st.Campaigns = s.campaignsTotal
-	st.QuotaRejections = s.quotaRejects
 	for _, l := range s.leases {
 		// A lease is active while its attempt still owns the job; records
 		// of superseded or finished attempts linger only until the
@@ -612,7 +665,13 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	for _, id := range s.order {
-		switch s.jobs[id].snapshot().State {
+		j := s.jobs[id]
+		if j.child {
+			st.BatchChildren++
+		} else {
+			st.Jobs++
+		}
+		switch j.snapshot().State {
 		case StateQueued:
 			st.Queued++
 		case StateRunning:
@@ -808,6 +867,7 @@ func (s *Server) expireAttempt(j *job, now time.Time) {
 	att := j.status.Attempt
 	cancel := j.cancel
 	j.cancel = nil
+	astart := j.attemptStart
 	j.status.Failures = append(j.status.Failures, AttemptFailure{
 		Attempt: att, Reason: "lease_expired", AtMs: now.UnixMilli(),
 		Worker: j.status.Worker,
@@ -826,11 +886,17 @@ func (s *Server) expireAttempt(j *job, now time.Time) {
 		j.status.State = StateQueued
 		j.status.Progress = Progress{}
 	}
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
+	s.met.leaseExpiries.Inc()
+	s.log.Warn("lease_expired", "job", st.ID, "attempt", att, "worker", st.Worker,
+		"failures", len(st.Failures), "terminal", terminal)
+	s.endAttemptSpan(st, att, astart, "lease_expired")
+	s.endLeaseSpans(j, att, "expired")
 	if terminal {
 		s.settle(j)
 		return
@@ -842,15 +908,15 @@ func (s *Server) expireAttempt(j *job, now time.Time) {
 // bypassing the QueueDepth bound (recovery must not fail on a busy
 // server).
 func (s *Server) requeue(j *job) {
+	s.met.requeues.Inc()
+	s.log.Info("requeue", "job", j.snapshot().ID)
 	s.mu.Lock()
 	if !s.closed {
 		s.pending = append(s.pending, j)
-		s.requeues++
 		s.cond.Signal()
-	} else {
-		// Shutting down: the requeue would never be drained.
-		s.requeues++
 	}
+	// Shutting down: the requeue would never be drained, but it still
+	// counts — the job's recovery was attempted.
 	s.mu.Unlock()
 }
 
@@ -865,13 +931,21 @@ func (s *Server) settle(j *job) {
 	if s.inflight[j.res.key] == j {
 		delete(s.inflight, j.res.key)
 	}
-	if !j.released {
+	first := !j.released
+	if first {
 		j.released = true
 		if j.tenant != "" {
 			s.refundTenantLocked(j.tenant, 1)
 		}
 	}
 	s.mu.Unlock()
+	if first {
+		// Exactly-once per job, whatever terminal paths raced: close the
+		// job span and drop its per-job throughput series.
+		st := j.snapshot()
+		s.endJobSpan(st, spanKind(j))
+		s.met.shotsPerSec.Delete(st.ID)
+	}
 }
 
 // runAttempt executes one attempt of a dequeued job, with panic
@@ -923,11 +997,12 @@ func (s *Server) beginAttempt(j *job) (att int, ctx context.Context, cancel cont
 	att = j.status.Attempt
 	j.cancel = cancel
 	j.lease = time.Now().Add(s.opts.Lease)
+	j.attemptStart = time.Now()
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
-	s.mu.Lock()
-	s.attempts++
-	s.mu.Unlock()
+	s.met.attempts.Inc()
+	s.startAttemptSpan(st)
 	return att, ctx, cancel, true
 }
 
@@ -939,17 +1014,35 @@ func (s *Server) beginAttempt(j *job) (att int, ctx context.Context, cancel cont
 // heartbeats carry no progress at all) but isn't broadcast, so watchers
 // only wake on real movement.
 func (s *Server) touch(j *job, att int, p Progress) {
+	now := time.Now()
 	j.mu.Lock()
 	if j.status.Attempt != att || j.status.State != StateRunning {
 		j.mu.Unlock()
 		return
 	}
-	j.lease = time.Now().Add(s.opts.Lease)
+	// Heartbeat age: time since the previous renewal (the lease deadline
+	// minus the lease period), observed before renewing.
+	age := now.Sub(j.lease.Add(-s.opts.Lease))
+	j.lease = now.Add(s.opts.Lease)
+	var rate float64
+	id := j.status.ID
 	if p.Done > j.status.Progress.Done {
 		j.status.Progress = p
+		if p.Unit == "shots" && !j.attemptStart.IsZero() {
+			if elapsed := now.Sub(j.attemptStart).Seconds(); elapsed > 0 {
+				rate = float64(p.Done) / elapsed
+			}
+		}
 		j.broadcastLocked()
 	}
 	j.mu.Unlock()
+	s.met.leaseRenewals.Inc()
+	if age > 0 {
+		s.met.heartbeatAge.Observe(age.Seconds())
+	}
+	if rate > 0 {
+		s.met.shotsPerSec.With(id).Set(rate)
+	}
 }
 
 // finishAttempt routes an attempt's outcome. The attempt token decides
@@ -1014,8 +1107,11 @@ func (s *Server) completeJob(j *job, att int) {
 	j.cancel = nil
 	j.status.State = StateDone
 	j.status.DoneMs = time.Now().UnixMilli()
+	astart := j.attemptStart
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
+	s.endAttemptSpan(st, att, astart, "done")
 	s.settle(j)
 }
 
@@ -1033,8 +1129,11 @@ func (s *Server) timeoutJob(j *job, att int, now time.Time) {
 	j.status.Error = fmt.Sprintf("attempt %d exceeded its execution timeout", att)
 	j.status.StopReason = StopReasonTimeout
 	j.status.DoneMs = now.UnixMilli()
+	astart := j.attemptStart
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
+	s.endAttemptSpan(st, att, astart, "timeout")
 	s.settle(j)
 }
 
@@ -1062,8 +1161,11 @@ func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time
 		j.status.State = StateQueued
 		j.status.Progress = Progress{}
 	}
+	astart := j.attemptStart
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
+	s.endAttemptSpan(st, att, astart, reason)
 	if terminal {
 		s.settle(j)
 		return
@@ -1078,9 +1180,7 @@ func (s *Server) retryOrFail(j *job, att int, reason string, err error, now time
 // source of the late bytes ("local" or a worker ID) so a cross-node
 // mismatch identifies the offending box.
 func (s *Server) integrityCheck(j *job, data []byte, worker string) {
-	s.mu.Lock()
-	s.integrityChecks++
-	s.mu.Unlock()
+	s.met.integrityChecks.Inc()
 	err := s.store.Put(j.res.key, data)
 	if errors.Is(err, ErrStoreMismatch) {
 		s.integrityFail(j, fmt.Errorf("late completion from worker %s: %w", worker, err))
@@ -1099,14 +1199,14 @@ func (s *Server) integrityFail(j *job, err error) {
 	if j.status.DoneMs == 0 {
 		j.status.DoneMs = time.Now().UnixMilli()
 	}
+	st := j.status
 	j.broadcastLocked()
 	j.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
-	s.mu.Lock()
-	s.integrityErrs++
-	s.mu.Unlock()
+	s.met.integrityFails.Inc()
+	s.log.Error("integrity_failure", "job", st.ID, "error", st.Error)
 	s.settle(j)
 }
 

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"latticesim/internal/obs"
 )
 
 // Handler returns the HTTP API (see API.md for the full contract).
@@ -49,11 +51,16 @@ import (
 // Operations:
 //
 //	GET  /v1/stats           server counters (queue, fleet, store, cache)
+//	GET  /metrics            Prometheus text exposition of the same
+//	                         registry /v1/stats is derived from
 //	GET  /healthz            liveness probe
 //
 // The X-Tenant request header names the submitting tenant ("" =
 // "default") for quota accounting on POST /v1/jobs and
-// POST /v1/campaigns.
+// POST /v1/campaigns. The X-Latticesim-Trace header carries trace IDs:
+// inbound on submissions (joining the caller's trace), outbound on
+// submission responses and lease grants (propagating the job's trace
+// to workers).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -70,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("PUT /v1/results/{key}", s.handlePutResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -119,11 +127,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxSpecBytes, &spec) {
 		return
 	}
-	st, err := s.SubmitAs(spec, r.Header.Get("X-Tenant"))
+	st, err := s.SubmitTraced(spec, r.Header.Get("X-Tenant"), r.Header.Get(obs.TraceHeader))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set(obs.TraceHeader, st.TraceID)
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -134,11 +143,13 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxSpecBytes, &cj) {
 		return
 	}
-	st, err := s.SubmitAs(JobSpec{Type: "campaign", Campaign: &cj}, r.Header.Get("X-Tenant"))
+	st, err := s.SubmitTraced(JobSpec{Type: "campaign", Campaign: &cj},
+		r.Header.Get("X-Tenant"), r.Header.Get(obs.TraceHeader))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set(obs.TraceHeader, st.TraceID)
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -189,6 +200,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	case err == nil && grant == nil:
 		w.WriteHeader(http.StatusNoContent)
 	case err == nil:
+		w.Header().Set(obs.TraceHeader, grant.TraceID)
 		writeJSON(w, http.StatusOK, grant)
 	case errors.Is(err, ErrUnknownWorker):
 		writeError(w, http.StatusNotFound, CodeNotFound, 0, "%v", err)

@@ -275,6 +275,11 @@ type JobStatus struct {
 	// Tenant is the submitting tenant (the X-Tenant header; "default"
 	// when unset). Quotas and admission control are per tenant.
 	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the job's trace ID: 32 hex chars, minted at submission
+	// (or adopted from the X-Latticesim-Trace request header). Every
+	// span event the job's execution emits — attempts, leases, worker
+	// units — carries it, fleet-wide.
+	TraceID string `json:"trace_id,omitempty"`
 	// Failures records every attempt that did not complete — panics,
 	// execution errors, and expired leases — in order. A job retried to
 	// success keeps its failure history, so clients can see the recovery.

@@ -317,6 +317,7 @@ func newPointRunner(cache *BuildCache, pt Point, index int, cfg Config, acfg Ada
 	pl.Workers = cfg.Workers
 	pl.Progress = nil
 	pl.Ctx = cfg.Ctx
+	pl.Metrics = cfg.Metrics
 	r.pl = &pl
 	if acfg.usesImportance(pt.P) {
 		s, err := mc.NewImportanceSampler(pl.Model, pl.Graph, acfg.Boost)

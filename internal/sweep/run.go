@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"latticesim/internal/obs"
 )
 
 // Config carries a campaign's execution parameters.
@@ -52,6 +54,10 @@ type Config struct {
 	// run's. The simulation service threads per-job contexts through
 	// here for job cancellation and timeouts (DESIGN.md §14).
 	Ctx context.Context
+	// Metrics, when non-nil, receives the Monte Carlo pipeline's shard
+	// and predecoder series (forwarded to mc.Pipeline.Metrics). nil
+	// disables instrumentation; results never depend on it.
+	Metrics *obs.Registry
 }
 
 // ctxErr returns ctx's error when the context is set and done.
@@ -232,6 +238,7 @@ func ExecutePoint(cache *BuildCache, pt Point, cfg Config) (Record, error) {
 		pl.Workers = cfg.Workers
 		pl.Progress = cfg.ShotProgress
 		pl.Ctx = cfg.Ctx
+		pl.Metrics = cfg.Metrics
 		out := pl.Run(rec.Shots, rec.Seed)
 		// A canceled run's tally is partial: surface the cancellation and
 		// drop the record rather than emit non-canonical statistics.

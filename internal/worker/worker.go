@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"latticesim/internal/obs"
 	"latticesim/internal/service"
 	"latticesim/internal/sweep"
 )
@@ -54,6 +55,22 @@ type Options struct {
 	// — a test seam for stalling or killing a node mid-unit. Returning
 	// an error fails the unit without executing it.
 	BeforeExecute func(ctx context.Context, grant *service.LeaseGrant) error
+	// Metrics, when non-nil, receives the node's operational series:
+	// lifetime unit-outcome counters mirrored from Stats, a heartbeat
+	// counter, a unit wall-time histogram, and the Monte Carlo
+	// pipeline's shard/predecoder series (the registry is threaded
+	// through execution). nil disables instrumentation; results never
+	// depend on it.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives one span pair per executed unit
+	// (name "unit", span "<lease>/unit", parent "<lease>") carrying the
+	// job's trace ID from the lease grant — the worker half of the
+	// coordinator's per-job trace (see obs.TraceHeader).
+	Spans *obs.SpanWriter
+	// Logger, when non-nil, receives structured operational events
+	// (lease abandonment, report failures). Logf stays the free-form
+	// human log; both may be set.
+	Logger *obs.Logger
 }
 
 // Stats counts a worker's lifetime outcomes.
@@ -74,6 +91,11 @@ type Worker struct {
 	client *service.Client
 	store  *service.RemoteStore
 	cache  *sweep.BuildCache
+
+	// Metric handles resolved once in New; all are nil-safe, so the
+	// uninstrumented path costs nothing but the nil checks inside obs.
+	heartbeats *obs.Counter
+	unitDur    *obs.Histogram
 
 	mu    sync.Mutex
 	id    string
@@ -98,12 +120,34 @@ func New(opts Options) (*Worker, error) {
 	client := service.NewClient(opts.Coordinator)
 	client.HTTPClient = opts.HTTPClient
 	client.Retry = service.DefaultRetryPolicy()
-	return &Worker{
+	w := &Worker{
 		opts:   opts,
 		client: client,
 		store:  service.NewRemoteStore(opts.Coordinator, opts.HTTPClient),
 		cache:  cache,
-	}, nil
+	}
+	// Mirror the lifetime outcome counters from Stats at scrape time —
+	// Stats stays the one authoritative copy — and register the handles
+	// the hot paths increment directly. Every obs call below is a no-op
+	// on a nil registry.
+	m := opts.Metrics
+	m.CounterFunc("latticesim_worker_units_leased_total",
+		"Work units granted to this node.",
+		func() float64 { return float64(w.Stats().Leased) })
+	m.CounterFunc("latticesim_worker_units_completed_total",
+		"Work units this node reported complete.",
+		func() float64 { return float64(w.Stats().Completed) })
+	m.CounterFunc("latticesim_worker_units_failed_total",
+		"Work units this node reported failed.",
+		func() float64 { return float64(w.Stats().Failed) })
+	m.CounterFunc("latticesim_worker_units_abandoned_total",
+		"Work units dropped because the coordinator invalidated the lease.",
+		func() float64 { return float64(w.Stats().Abandoned) })
+	w.heartbeats = m.Counter("latticesim_worker_heartbeats_total",
+		"Lease heartbeats this node sent.")
+	w.unitDur = m.Histogram("latticesim_worker_unit_seconds",
+		"Wall time per executed work unit.", obs.DefBuckets)
+	return w, nil
 }
 
 // ID returns the coordinator-assigned worker ID ("" before the first
@@ -198,15 +242,34 @@ func (w *Worker) register(ctx context.Context) error {
 // coordinator invalidates mid-flight cancels execution and reports
 // nothing: the unit belongs to someone else now.
 func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
+	// The unit span is the worker-side leg of the job's trace: its ID
+	// derives from the lease ID the coordinator minted, and its trace ID
+	// rode in on the grant, so coordinator and worker events grep
+	// together by either.
+	span := obs.SpanEvent{
+		Trace:  grant.TraceID,
+		Span:   grant.LeaseID + "/unit",
+		Parent: grant.LeaseID,
+		Name:   "unit",
+		Job:    grant.JobID,
+		Worker: w.ID(),
+	}
+	began := time.Now()
+	w.opts.Spans.Start(span)
+	outcome := "complete"
+	defer func() {
+		w.opts.Spans.End(span, began, outcome)
+		w.unitDur.Observe(time.Since(began).Seconds())
+	}()
 	if hook := w.opts.BeforeExecute; hook != nil {
 		if err := hook(ctx, grant); err != nil {
-			w.report(ctx, grant, nil, err)
+			outcome = w.report(ctx, grant, nil, err)
 			return
 		}
 	}
 	if data, ok, err := w.store.Get(grant.Key); err == nil && ok {
 		w.logf("worker %s: %s already stored, fast-completing %s", w.ID(), grant.Key[:8], grant.LeaseID)
-		w.report(ctx, grant, data, nil)
+		outcome = w.report(ctx, grant, data, nil)
 		return
 	}
 
@@ -249,6 +312,7 @@ func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
 			ack, err := w.client.UpdateLease(ctx, grant.LeaseID, service.LeaseUpdate{
 				Event: "heartbeat", Progress: p,
 			})
+			w.heartbeats.Inc()
 			if err == nil && !ack.Valid {
 				abandonOnce.Do(func() { close(abandoned) })
 				cancel()
@@ -265,11 +329,11 @@ func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
 				err = fmt.Errorf("panic: %v", p)
 			}
 		}()
-		data, err = service.ExecuteSpec(execCtx, w.cache, grant.Spec, w.opts.MCWorkers, func(p service.Progress) {
+		data, err = service.ExecuteSpecObserved(execCtx, w.cache, grant.Spec, w.opts.MCWorkers, func(p service.Progress) {
 			pmu.Lock()
 			latest = &p
 			pmu.Unlock()
-		})
+		}, w.opts.Metrics)
 	}()
 	cancel()
 	<-hbDone
@@ -279,7 +343,9 @@ func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
 		w.mu.Lock()
 		w.stats.Abandoned++
 		w.mu.Unlock()
+		outcome = "abandoned"
 		w.logf("worker %s: lease %s invalidated, unit abandoned", w.ID(), grant.LeaseID)
+		w.opts.Logger.Warn("unit_abandoned", "worker", w.ID(), "lease", grant.LeaseID, "job", grant.JobID)
 		return
 	default:
 	}
@@ -287,13 +353,15 @@ func (w *Worker) executeLease(ctx context.Context, grant *service.LeaseGrant) {
 		// The node itself is shutting down mid-unit; don't report a
 		// failure the coordinator would charge against the job — the
 		// lease will expire and the unit will be re-leased.
+		outcome = "shutdown"
 		return
 	}
-	w.report(ctx, grant, data, err)
+	outcome = w.report(ctx, grant, data, err)
 }
 
-// report sends the unit's outcome under its lease.
-func (w *Worker) report(ctx context.Context, grant *service.LeaseGrant, data []byte, err error) {
+// report sends the unit's outcome under its lease and returns the
+// outcome label for the unit's span event.
+func (w *Worker) report(ctx context.Context, grant *service.LeaseGrant, data []byte, err error) string {
 	u := service.LeaseUpdate{Event: "complete", Result: data}
 	if err != nil {
 		u = service.LeaseUpdate{Event: "fail", Error: err.Error()}
@@ -305,12 +373,17 @@ func (w *Worker) report(ctx context.Context, grant *service.LeaseGrant, data []b
 	switch {
 	case uerr != nil:
 		w.logf("worker %s: reporting %s on %s failed: %v", id, u.Event, grant.LeaseID, uerr)
+		w.opts.Logger.Warn("report_failed", "worker", id, "lease", grant.LeaseID, "event", u.Event, "error", uerr.Error())
+		return "report_error"
 	case !ack.Valid:
 		w.stats.Abandoned++
+		return "abandoned"
 	case err != nil:
 		w.stats.Failed++
+		return "fail"
 	default:
 		w.stats.Completed++
+		return "complete"
 	}
 }
 

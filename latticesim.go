@@ -35,6 +35,7 @@ import (
 	"latticesim/internal/frame"
 	"latticesim/internal/hardware"
 	"latticesim/internal/microarch"
+	"latticesim/internal/obs"
 	"latticesim/internal/service"
 	"latticesim/internal/surface"
 	"latticesim/internal/sweep"
@@ -404,6 +405,47 @@ type (
 // NewWorkerNode builds a worker node for the coordinator named in
 // opts; Run it with a context to join the fleet until canceled.
 func NewWorkerNode(opts WorkerOptions) (*WorkerNode, error) { return worker.New(opts) }
+
+// Observability: the dependency-free metrics registry, NDJSON span
+// writer and structured logger behind GET /metrics, the
+// X-Latticesim-Trace header and -log-json (DESIGN.md §16). Wire them
+// into ServiceOptions / WorkerOptions, or serve MetricsRegistry's
+// Handler from any HTTP mux.
+type (
+	// MetricsRegistry is a concurrency-safe Prometheus-text metric
+	// registry (counters, gauges, histograms, labeled families).
+	MetricsRegistry = obs.Registry
+	// SpanWriter emits job/attempt/lease/unit trace spans as NDJSON.
+	SpanWriter = obs.SpanWriter
+	// SpanEvent is one NDJSON trace record (phase "start" or "end").
+	SpanEvent = obs.SpanEvent
+	// StructuredLogger writes leveled structured NDJSON log lines.
+	StructuredLogger = obs.Logger
+	// LogLevel orders structured log severities.
+	LogLevel = obs.Level
+)
+
+// TraceIDHeader is the HTTP header that carries a job's trace ID:
+// set it on submissions to join an existing trace, read it from
+// submission responses and lease grants to follow one.
+const TraceIDHeader = obs.TraceHeader
+
+// NewMetricsRegistry returns an empty metric registry; expose it with
+// its Handler method or WritePrometheus.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanWriter wraps w as a concurrency-safe NDJSON span sink (nil w
+// yields a nil writer, which silently drops every event).
+func NewSpanWriter(w io.Writer) *SpanWriter { return obs.NewSpanWriter(w) }
+
+// NewStructuredLogger returns a leveled NDJSON logger writing events
+// at or above min to w. It may share w with a SpanWriter: both emit
+// whole lines in single Write calls.
+func NewStructuredLogger(w io.Writer, min LogLevel) *StructuredLogger { return obs.NewLogger(w, min) }
+
+// ParseLogLevel maps "debug", "info", "warn" or "error" to its
+// LogLevel (unknown strings default to info).
+func ParseLogLevel(s string) LogLevel { return obs.ParseLevel(s) }
 
 // Experiments: regeneration of the paper's tables and figures.
 type (
